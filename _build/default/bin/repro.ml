@@ -1,0 +1,67 @@
+(* Command-line front end: regenerate any single experiment.
+
+     repro fig4|fig6|table1|fig7|fig8|fig9|all [--full]
+     repro env *)
+
+open Cmdliner
+
+let fast_t =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Run the paper-scale sweep (slower).")
+  in
+  Term.(const not $ full)
+
+let run_exp name f =
+  let doc = Printf.sprintf "Regenerate %s of the paper." name in
+  let term = Term.(const (fun fast -> f ~fast ()) $ fast_t) in
+  Cmd.v (Cmd.info (String.lowercase_ascii (String.map (function ' ' -> '_' | c -> c) name)) ~doc) term
+
+let fig4 = run_exp "fig4" (fun ~fast () -> ignore (Experiments.Fig4_interrupt.run ~fast ()))
+
+let fig6 = run_exp "fig6" (fun ~fast () -> ignore (Experiments.Fig6_overhead.run ~fast ()))
+
+let table1 =
+  run_exp "table1" (fun ~fast () -> ignore (Experiments.Table1_preempt_cost.run ~fast ()))
+
+let fig7 = run_exp "fig7" (fun ~fast () -> ignore (Experiments.Fig7_cholesky.run ~fast ()))
+
+let fig8 = run_exp "fig8" (fun ~fast () -> ignore (Experiments.Fig8_packing.run ~fast ()))
+
+let fig9 = run_exp "fig9" (fun ~fast () -> ignore (Experiments.Fig9_insitu.run ~fast ()))
+
+let sec351 =
+  run_exp "sec351" (fun ~fast () -> ignore (Experiments.Sec351_syscalls.run ~fast ()))
+
+let all =
+  run_exp "all" (fun ~fast () ->
+      ignore (Experiments.Fig4_interrupt.run ~fast ());
+      ignore (Experiments.Fig6_overhead.run ~fast ());
+      ignore (Experiments.Table1_preempt_cost.run ~fast ());
+      ignore (Experiments.Fig7_cholesky.run ~fast ());
+      ignore (Experiments.Fig8_packing.run ~fast ());
+      ignore (Experiments.Fig9_insitu.run ~fast ());
+      ignore (Experiments.Sec351_syscalls.run ~fast ()))
+
+let env =
+  let doc = "Print the simulated machine configurations (paper Table 2)." in
+  Cmd.v (Cmd.info "env" ~doc)
+    Term.(
+      const (fun () ->
+          Format.printf "%a@." Oskern.Machine.pp Oskern.Machine.skylake;
+          Format.printf "%a@." Oskern.Machine.pp Oskern.Machine.knl)
+      $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:
+        "Reproduce the experiments of 'Lightweight Preemptive User-Level Threads' \
+         (PPoPP'21) on a simulated substrate."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; env ]))

@@ -1,0 +1,1 @@
+examples/deadlock_rescue.ml: Config Desim Engine Kernel Linalg Machine Oskern Preempt_core Printf Runtime Types Ult

@@ -1,0 +1,1 @@
+examples/fiber_pipeline.ml: Array Fiber Printf Unix

@@ -1,0 +1,1 @@
+examples/fiber_pipeline.mli:

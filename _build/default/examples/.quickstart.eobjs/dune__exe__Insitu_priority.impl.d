@@ -1,0 +1,1 @@
+examples/insitu_priority.ml: List Moldyn Printf

@@ -1,0 +1,1 @@
+examples/insitu_priority.mli:

@@ -1,0 +1,1 @@
+examples/preemption_timeline.ml: Config Desim Engine Experiments Kernel Machine Oskern Preempt_core Printf Runtime Trace Types Ult

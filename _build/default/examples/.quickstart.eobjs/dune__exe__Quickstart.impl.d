@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Fiber List Printf Unix

@@ -1,0 +1,1 @@
+examples/thread_packing.ml: Config List Multigrid Oskern Preempt_core Printf Types

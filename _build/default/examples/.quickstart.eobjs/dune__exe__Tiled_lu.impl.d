@@ -1,0 +1,1 @@
+examples/tiled_lu.ml: Array Config Desim Engine Kernel Linalg List Lu Machine Matrix Oskern Preempt_core Printf Rng Runtime Types Ult Usync

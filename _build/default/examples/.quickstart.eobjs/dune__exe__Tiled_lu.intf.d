@@ -1,0 +1,1 @@
+examples/tiled_lu.mli:

@@ -1,0 +1,1 @@
+examples/timer_strategies.ml: Config Desim Engine Kernel List Machine Oskern Preempt_core Printf Runtime Stats Types Ult

@@ -1,0 +1,1 @@
+examples/timer_strategies.mli:

@@ -1,0 +1,49 @@
+(* The four preemption-timer strategies of paper §3.2, head to head:
+   how long does one timer interruption take as workers scale up?
+
+   Run with:  dune exec examples/timer_strategies.exe *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let measure ~workers ~strategy =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake workers) in
+  let config =
+    { Config.default with Config.timer_strategy = strategy; interval = 1e-3 }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:workers in
+  for i = 0 to workers - 1 do
+    ignore
+      (Runtime.spawn rt ~kind:Types.Signal_yield ~home:i
+         ~name:(Printf.sprintf "spin%d" i) (fun () -> Ult.compute 1.0))
+  done;
+  Runtime.start rt;
+  Engine.run ~until:0.05 eng;
+  Stats.mean (Runtime.interrupt_stats rt)
+
+let () =
+  let strategies =
+    [
+      Config.Per_worker_creation;
+      Config.Per_worker_aligned;
+      Config.Per_process_one_to_all;
+      Config.Per_process_chain;
+    ]
+  in
+  Printf.printf "mean time per timer interruption (1 ms interval)\n\n%-10s" "#workers";
+  List.iter (fun s -> Printf.printf "%28s" (Config.timer_strategy_name s)) strategies;
+  print_newline ();
+  List.iter
+    (fun workers ->
+      Printf.printf "%-10d" workers;
+      List.iter
+        (fun strategy ->
+          Printf.printf "%25.2f us" (1e6 *. measure ~workers ~strategy))
+        strategies;
+      print_newline ())
+    [ 1; 8; 28; 56 ];
+  print_newline ();
+  print_endline "Naive per-worker timers contend on the kernel signal lock; aligning";
+  print_endline "them (or chaining per-process signals) keeps interruption time flat."

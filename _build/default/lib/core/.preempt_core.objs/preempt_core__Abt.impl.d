@@ -1,0 +1,1 @@
+lib/core/abt.ml: Config Runtime Types Ult Usync

@@ -1,0 +1,1 @@
+lib/core/abt.mli: Oskern Runtime Types Ult Usync

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Buffer Config Cpuset Desim Dq Effect Engine Float Hashtbl Kernel List Machine Option Oskern Printf Queue Rng Sched_ws Stats Stdlib Trace Types Ult

@@ -1,0 +1,1 @@
+lib/core/sched_packing.ml: Array Dq Hashtbl Types

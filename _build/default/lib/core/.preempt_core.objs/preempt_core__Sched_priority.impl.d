@@ -1,0 +1,1 @@
+lib/core/sched_priority.ml: Array Dq Types

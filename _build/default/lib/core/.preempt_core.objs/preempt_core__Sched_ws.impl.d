@@ -1,0 +1,1 @@
+lib/core/sched_ws.ml: Array Desim Dq Types

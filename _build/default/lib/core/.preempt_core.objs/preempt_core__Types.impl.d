@@ -1,0 +1,1 @@
+lib/core/types.ml: Config Desim Dq Hashtbl Kernel Oskern Queue

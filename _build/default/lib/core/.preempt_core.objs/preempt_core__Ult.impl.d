@@ -1,0 +1,1 @@
+lib/core/ult.ml: Effect Types

@@ -1,0 +1,1 @@
+lib/core/ult.mli: Effect Types

@@ -1,0 +1,1 @@
+lib/core/usync.ml: List Queue Runtime Types Ult

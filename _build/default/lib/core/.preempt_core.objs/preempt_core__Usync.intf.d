@@ -1,0 +1,1 @@
+lib/core/usync.mli: Runtime Ult

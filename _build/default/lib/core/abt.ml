@@ -1,0 +1,47 @@
+type runtime = Runtime.t
+
+type thread = Ult.t
+
+type kind = Cooperative | Preemptive_signal_yield | Preemptive_klt_switching
+
+let to_types_kind = function
+  | Cooperative -> Types.Nonpreemptive
+  | Preemptive_signal_yield -> Types.Signal_yield
+  | Preemptive_klt_switching -> Types.Klt_switching
+
+let init ?scheduler ?preemption kernel ~num_xstreams () =
+  let config =
+    match preemption with
+    | None -> Config.default
+    | Some interval ->
+        if interval <= 0.0 then invalid_arg "Abt.init: preemption interval <= 0";
+        {
+          Config.default with
+          Config.timer_strategy = Config.Per_worker_aligned;
+          interval;
+        }
+  in
+  let rt = Runtime.create ~config ?scheduler kernel ~n_workers:num_xstreams in
+  Runtime.start rt;
+  rt
+
+let finalize = Runtime.stop
+
+let num_xstreams = Runtime.n_workers
+
+let thread_create rt ?(kind = Cooperative) ?priority ?name body =
+  Runtime.spawn rt ~kind:(to_types_kind kind) ?priority ?name body
+
+let thread_join rt t = Usync.join rt t
+
+let self_yield () = Ult.yield ()
+
+let self_suspend register = Ult.suspend register
+
+let thread_resume rt t = Runtime.ready rt t
+
+let work = Ult.compute
+
+module Mutex = Usync.Mutex
+module Barrier = Usync.Barrier
+module Eventual = Usync.Ivar

@@ -1,0 +1,63 @@
+(** Argobots-flavored facade over {!Runtime}.
+
+    The paper's implementation extends Argobots, so this module offers
+    the familiar vocabulary — execution streams, pools, ULTs — as thin
+    aliases for porting Argobots-style code onto the simulated runtime:
+
+    {[
+      let rt = Abt.init kernel ~num_xstreams:56 () in
+      let t = Abt.thread_create rt ~kind:Abt.Preemptive_klt_switching body in
+      ... Abt.self_yield () ... (* inside a ULT *)
+      Abt.thread_join rt t
+    ]} *)
+
+type runtime = Runtime.t
+
+type thread = Ult.t
+
+(** Thread kinds, named after the paper's three coexisting types. *)
+type kind =
+  | Cooperative  (** classic nonpreemptive M:N thread *)
+  | Preemptive_signal_yield
+  | Preemptive_klt_switching
+
+(** [init kernel ~num_xstreams ()] builds and starts a runtime.
+    [preemption] arms per-worker aligned timers at the given interval. *)
+val init :
+  ?scheduler:Types.scheduler ->
+  ?preemption:float ->
+  Oskern.Kernel.t ->
+  num_xstreams:int ->
+  unit ->
+  runtime
+
+(** Request shutdown (threads still running keep their workers until
+    they finish; see {!Runtime.stop}). *)
+val finalize : runtime -> unit
+
+val num_xstreams : runtime -> int
+
+(** [thread_create rt body] — a ULT on the runtime's pools. *)
+val thread_create :
+  runtime -> ?kind:kind -> ?priority:int -> ?name:string -> (unit -> unit) -> thread
+
+(** Block the calling ULT until [t] finishes. *)
+val thread_join : runtime -> thread -> unit
+
+(** {1 Self operations (inside a ULT)} *)
+
+val self_yield : unit -> unit
+
+val self_suspend : (thread -> unit) -> unit
+
+(** Resume a thread parked by {!self_suspend}. *)
+val thread_resume : runtime -> thread -> unit
+
+(** Burn CPU — the unit of preemptible work. *)
+val work : float -> unit
+
+(** {1 Synchronization (Argobots naming)} *)
+
+module Mutex = Usync.Mutex
+module Barrier = Usync.Barrier
+module Eventual = Usync.Ivar

@@ -1,0 +1,60 @@
+(** Runtime configuration knobs — each maps to a design choice analyzed
+    in the paper (see DESIGN.md §4 for the experiment that sweeps it). *)
+
+type timer_strategy =
+  | No_timer  (** preemption disabled (pure nonpreemptive runtime) *)
+  | Per_worker_creation
+      (** one OS timer per worker, armed at creation: fires coincide and
+          contend on the kernel signal lock (paper Fig. 4, naive) *)
+  | Per_worker_aligned
+      (** per-worker timers with phases spread across the interval
+          ("timer alignment", paper §3.2.1) *)
+  | Per_process_one_to_all
+      (** one timer; the leader signals every worker with a preemptive
+          thread (paper §3.2.2, unoptimized) *)
+  | Per_process_chain
+      (** one timer; workers forward the signal one-by-one ("chained
+          signals", paper §3.2.2) *)
+
+type suspend_mode =
+  | Sigsuspend  (** portable sigsuspend/pthread_kill suspend–resume *)
+  | Futex_suspend  (** futex-based suspend–resume (paper §3.3.1) *)
+
+type t = {
+  timer_strategy : timer_strategy;
+  interval : float;  (** preemption timer interval (s) *)
+  suspend_mode : suspend_mode;
+  use_local_klt_pool : bool;  (** worker-local KLT pools (paper §3.3.2) *)
+  local_pool_capacity : int;
+  idle_poll : float;  (** scheduler spin granularity when out of work *)
+  autostop : bool;  (** stop workers when no unfinished ULTs remain *)
+}
+
+let default =
+  {
+    timer_strategy = No_timer;
+    interval = 1e-3;
+    suspend_mode = Futex_suspend;
+    use_local_klt_pool = true;
+    local_pool_capacity = 2;
+    idle_poll = 10e-6;
+    autostop = true;
+  }
+
+(* The paper's §3.4 guidance on choosing a thread type, as a function:
+   nonpreemptive when no preemption is needed (cheapest); signal-yield
+   when preemption is needed and the function is KLT-independent;
+   KLT-switching when it is KLT-dependent or unknown (safe default for
+   third-party code). *)
+let recommend_kind ~needs_preemption ~klt_dependent =
+  match (needs_preemption, klt_dependent) with
+  | false, _ -> `Nonpreemptive
+  | true, Some false -> `Signal_yield
+  | true, (Some true | None) -> `Klt_switching
+
+let timer_strategy_name = function
+  | No_timer -> "none"
+  | Per_worker_creation -> "per-worker (creation-time)"
+  | Per_worker_aligned -> "per-worker (aligned)"
+  | Per_process_one_to_all -> "per-process (one-to-all)"
+  | Per_process_chain -> "per-process (chain)"

@@ -1,0 +1,52 @@
+(** Work-stealing scheduler (BOLT's default, paper §4.1).
+
+    Each worker owns a FIFO queue; it runs threads from its own queue
+    and steals from the back of a randomly chosen victim when empty.
+    A preempted thread is pushed to the preempting worker's local FIFO
+    queue, so every ready thread is rescheduled within a bounded number
+    of preemption intervals — the property that prevents busy-wait
+    deadlocks (paper §4.1). *)
+
+open Types
+
+let steal rt (w : worker) =
+  let n = Array.length rt.workers in
+  if n <= 1 then None
+  else begin
+    (* A few random probes, then a deterministic sweep so a lone ready
+       thread cannot be missed forever. *)
+    let attempt () =
+      let v = Desim.Rng.int w.w_rng n in
+      if v = w.rank then None else Dq.pop_back rt.workers.(v).q_main
+    in
+    let rec probes k = if k = 0 then None else match attempt () with Some u -> Some u | None -> probes (k - 1) in
+    match probes 2 with
+    | Some u -> Some u
+    | None ->
+        (* Fallback sweep, starting after ourselves so victim pressure
+           is spread instead of always draining worker 0 first. *)
+        let rec sweep k =
+          if k = n then None
+          else
+            let i = (w.rank + 1 + k) mod n in
+            if i = w.rank then sweep (k + 1)
+            else
+              match Dq.pop_back rt.workers.(i).q_main with
+              | Some u -> Some u
+              | None -> sweep (k + 1)
+        in
+        sweep 0
+  end
+
+let next rt (w : worker) =
+  match Dq.pop_front w.q_main with Some u -> Some u | None -> steal rt w
+
+let on_ready rt (u : ult) =
+  let w = rt.workers.(u.home mod Array.length rt.workers) in
+  Dq.push_back w.q_main u
+
+let on_preempted _rt (w : worker) (u : ult) = Dq.push_back w.q_main u
+
+let on_yielded _rt (w : worker) (u : ult) = Dq.push_back w.q_main u
+
+let make () = { sched_name = "work-stealing"; next; on_ready; on_preempted; on_yielded }

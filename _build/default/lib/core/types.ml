@@ -1,0 +1,105 @@
+(* Shared mutable records of the M:N runtime.  Internal to
+   [preempt_core]; the public faces are [Runtime], [Ult] and [Usync]. *)
+
+open Oskern
+
+type thread_kind =
+  | Nonpreemptive  (* classic M:N thread: explicit yields only *)
+  | Signal_yield  (* preemptible; must be KLT-independent (paper §3.1.1) *)
+  | Klt_switching  (* preemptible and KLT-dependent-safe (paper §3.1.2) *)
+
+type ustate =
+  | U_ready  (* in a pool, [work] set *)
+  | U_running
+  | U_bound  (* preempted via KLT-switching; its KLT sleeps bound to it *)
+  | U_blocked  (* suspended on user-level sync; some waker holds it *)
+  | U_finished
+
+type ult = {
+  uid : int;
+  uname : string;
+  kind : thread_kind;
+  mutable priority : int;  (* smaller = more urgent (priority scheduler) *)
+  footprint : float;
+      (* relative cache working set in [0,1]: scales the refill penalty
+         when the thread resumes on a different worker (a pure spin loop
+         is ~0, a tile kernel ~1) *)
+  mutable ustate : ustate;
+  mutable work : (unit -> unit) option;  (* start thunk or captured continuation *)
+  mutable cur_worker : worker option;
+  mutable home : int;  (* pool index this thread belongs to *)
+  mutable last_worker : int;  (* for the ULT migration cache penalty *)
+  mutable bound_klt : Kernel.klt option;
+  mutable bound_wake : (Kernel.klt -> worker -> unit) option;
+      (* args: the waking KLT (charged for the wake syscall) and the
+         worker the thread resumes on *)
+  mutable resume_worker : worker option;
+  mutable join_waiters : (unit -> unit) list;
+  mutable preemptions : int;
+  mutable ult_cpu : float;  (* CPU consumed by this thread's computes *)
+  mutable ult_cpu_since_move : float;  (* cache hotness on the current worker *)
+}
+
+and worker = {
+  rank : int;
+  mutable wklt : Kernel.klt option;
+  mutable current : ult option;
+  mutable preempt_request : bool;
+  mutable preempt_post_time : float;  (* when the preempting signal was posted *)
+  mutable measure_preempt : bool;  (* pending Table-1 style latency sample *)
+  mutable active : bool;  (* thread packing: inactive workers suspend *)
+  mutable wake_fut : Kernel.Futex.t option;  (* set while suspended *)
+  mutable klt_requested : bool;  (* outstanding KLT-creation request *)
+  q_main : ult Dq.t;  (* primary pool (FIFO / packing pool) *)
+  q_aux : ult Dq.t;  (* secondary pool (priority scheduler: analysis LIFO) *)
+  local_klts : Kernel.klt Queue.t;  (* worker-local KLT pool *)
+  w_rng : Desim.Rng.t;
+  mutable idle_time : float;  (* time spent spinning with no work *)
+  mutable preempts_taken : int;
+}
+
+type scheduler = {
+  sched_name : string;
+  next : rt -> worker -> ult option;
+  on_ready : rt -> ult -> unit;  (* freshly spawned or unblocked *)
+  on_preempted : rt -> worker -> ult -> unit;
+  on_yielded : rt -> worker -> ult -> unit;
+}
+
+and parking = {
+  pfut : Kernel.Futex.t;
+  mutable pmsg : [ `Attach of worker | `Exit ] option;
+}
+
+and rt = {
+  kernel : Kernel.t;
+  cfg : Config.t;
+  workers : worker array;
+  mutable sched : scheduler;
+  mutable n_active : int;
+  global_klts : Kernel.klt Queue.t;
+  parked : (int, parking) Hashtbl.t;  (* klt id -> mailbox *)
+  klt_pinned : (int, int) Hashtbl.t;  (* klt id -> core it is pinned to *)
+  worker_of_klt : (int, worker) Hashtbl.t;
+  mutable creator_fut : Kernel.Futex.t option;
+  mutable creator_requests : int;
+  mutable klts_created : int;
+  mutable unfinished : int;
+  mutable stopping : bool;
+  mutable started : bool;
+  mutable cur_interval : float;  (* live preemption interval *)
+  mutable timers : Kernel.Timer.t list;
+  signal_posted : (int, float) Hashtbl.t;  (* klt id -> post time *)
+  interrupt_stats : Desim.Stats.t;  (* Fig. 4 metric *)
+  preempt_latency_stats : Desim.Stats.t;  (* Table 1 metric *)
+  mutable next_uid : int;
+  rt_rng : Desim.Rng.t;
+  mutable preempt_signals : int;
+  mutable klt_switches : int;
+}
+
+let sig_timer = 34 (* leader timer signal (SIGRTMIN) *)
+
+let sig_forward = 35 (* forwarded preemption signal *)
+
+let sig_resume = 36 (* sigsuspend-mode resume signal *)

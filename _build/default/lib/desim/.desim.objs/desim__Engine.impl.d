@@ -1,0 +1,1 @@
+lib/desim/engine.ml: Effect Float Heap List Printf Rng

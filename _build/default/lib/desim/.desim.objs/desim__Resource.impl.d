@@ -1,0 +1,1 @@
+lib/desim/resource.ml: Engine Fun Stats Sync

@@ -1,0 +1,1 @@
+lib/desim/sync.ml: Engine Option Queue

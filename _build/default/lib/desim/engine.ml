@@ -1,0 +1,156 @@
+type event_record = {
+  mutable alive : bool;
+  callback : unit -> unit;
+}
+
+type t = {
+  mutable clock : float;
+  heap : event_record Heap.t;
+  root_rng : Rng.t;
+  mutable processed : int;
+  mutable live : int;
+  mutable live_names : (int * string) list; (* pid, name *)
+  mutable next_pid : int;
+  mutable quiescence : unit -> string option;
+}
+
+type event = event_record
+
+exception Deadlock of string
+
+let create ?(seed = 42) () =
+  {
+    clock = 0.0;
+    heap = Heap.create ();
+    root_rng = Rng.make seed;
+    processed = 0;
+    live = 0;
+    live_names = [];
+    next_pid = 0;
+    quiescence = (fun () -> None);
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let at t time f =
+  if time < t.clock -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock);
+  let ev = { alive = true; callback = f } in
+  Heap.push t.heap (Float.max time t.clock) ev;
+  ev
+
+let after t dt f =
+  if dt < 0.0 then invalid_arg "Engine.after: negative delay";
+  at t (t.clock +. dt) f
+
+let cancel ev =
+  if ev.alive then begin
+    ev.alive <- false;
+    true
+  end
+  else false
+
+let pending ev = ev.alive
+
+let set_quiescence_check t f = t.quiescence <- f
+
+let events_processed t = t.processed
+
+let live_processes t = t.live
+
+let live_process_names t = List.map snd t.live_names
+
+(* ------------------------------------------------------------------ *)
+(* Processes.                                                          *)
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Block : (('a -> unit) -> unit) -> 'a Effect.t
+  | Self : (t * string) Effect.t
+
+let delay dt = Effect.perform (Delay dt)
+
+let block register = Effect.perform (Block register)
+
+let self_engine () = fst (Effect.perform Self)
+
+let self_name () = snd (Effect.perform Self)
+
+let timestamp () = now (self_engine ())
+
+let spawn t name f =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  t.live <- t.live + 1;
+  t.live_names <- (pid, name) :: t.live_names;
+  let finish () =
+    t.live <- t.live - 1;
+    t.live_names <- List.filter (fun (p, _) -> p <> pid) t.live_names
+  in
+  let open Effect.Deep in
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> finish ());
+        exnc =
+          (fun exn ->
+            finish ();
+            raise exn);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay dt ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    ignore (after t dt (fun () -> continue k ())))
+            | Block register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let fired = ref false in
+                    let resume v =
+                      if !fired then
+                        invalid_arg
+                          (Printf.sprintf
+                             "Engine: double resume of process %S" name);
+                      fired := true;
+                      (* Resumption goes through the heap so wakers never
+                         run the woken process on their own stack. *)
+                      ignore (after t 0.0 (fun () -> continue k v))
+                    in
+                    register resume)
+            | Self -> Some (fun (k : (a, unit) continuation) -> continue k (t, name))
+            | _ -> None);
+      }
+  in
+  ignore (after t 0.0 body)
+
+let run ?until ?(max_events = 50_000_000) t =
+  let stop = ref false in
+  while (not !stop) && not (Heap.is_empty t.heap) do
+    match Heap.peek_min t.heap with
+    | None -> stop := true
+    | Some (time, _) ->
+        (match until with
+        | Some limit when time > limit ->
+            t.clock <- limit;
+            stop := true
+        | _ ->
+            let time, ev = Heap.pop_min t.heap in
+            if ev.alive then begin
+              ev.alive <- false;
+              t.clock <- time;
+              t.processed <- t.processed + 1;
+              if t.processed > max_events then
+                failwith
+                  (Printf.sprintf "Engine.run: exceeded %d events at t=%g"
+                     max_events t.clock);
+              ev.callback ()
+            end)
+  done;
+  if Heap.is_empty t.heap && t.live > 0 then
+    match t.quiescence () with
+    | Some msg -> raise (Deadlock msg)
+    | None -> ()

@@ -1,0 +1,86 @@
+(** Discrete-event simulation engine with effects-based processes.
+
+    The engine owns a virtual clock and an event heap.  Simulation code
+    runs as {e processes}: ordinary OCaml functions that perform the
+    effects below to advance virtual time or to suspend until woken.
+    Event callbacks and process resumptions are totally ordered by
+    [(time, insertion sequence)], so a run is deterministic.
+
+    Processes are resumed through the event heap rather than inline, so
+    waking another process never grows the waker's stack. *)
+
+type t
+
+(** Handle to a scheduled event, used for cancellation. *)
+type event
+
+exception Deadlock of string
+(** Raised by {!run} when [detect_quiescence] callbacks report stuck
+    processes after the heap drains (see {!set_quiescence_check}). *)
+
+val create : ?seed:int -> unit -> t
+
+(** Simulation clock, in seconds. *)
+val now : t -> float
+
+(** Root RNG of this engine ({!Rng.split} it per component). *)
+val rng : t -> Rng.t
+
+(** [after t dt f] schedules callback [f] to run [dt >= 0] seconds from
+    now.  Callbacks run outside any process context. *)
+val after : t -> float -> (unit -> unit) -> event
+
+(** [at t time f] schedules [f] at absolute [time >= now]. *)
+val at : t -> float -> (unit -> unit) -> event
+
+(** [cancel ev] prevents a pending event from firing.  Returns [false]
+    if it already fired or was cancelled. *)
+val cancel : event -> bool
+
+(** True while the event has neither fired nor been cancelled. *)
+val pending : event -> bool
+
+(** [spawn t name f] creates a process running [f ()].  It starts at the
+    current time, after already-queued events.  An exception escaping
+    [f] aborts the whole run. *)
+val spawn : t -> string -> (unit -> unit) -> unit
+
+(** Number of spawned processes that have not yet returned. *)
+val live_processes : t -> int
+
+(** Names of spawned processes that have not yet returned (testing aid). *)
+val live_process_names : t -> string list
+
+(** [run t] processes events until the heap is empty or [until] is
+    reached.  [max_events] guards against runaway simulations.
+    @raise Deadlock if the heap drains while a quiescence check fails. *)
+val run : ?until:float -> ?max_events:int -> t -> unit
+
+(** [set_quiescence_check t f] registers [f]; when the heap drains with
+    live processes remaining, [f ()] should describe why that is an
+    error (returning [Some msg] raises {!Deadlock}) or [None] to accept
+    it (e.g. daemon processes). Default: accept. *)
+val set_quiescence_check : t -> (unit -> string option) -> unit
+
+(** Total events processed so far. *)
+val events_processed : t -> int
+
+(** {1 Effects — to be performed from process context only} *)
+
+(** Suspend the current process for [dt] virtual seconds. *)
+val delay : float -> unit
+
+(** [block register] suspends the current process; [register resume] is
+    called immediately with a one-shot [resume] function that any event
+    callback (or other process) may later call to resume the process
+    with a value. Calling [resume] twice raises [Invalid_argument]. *)
+val block : (('a -> unit) -> unit) -> 'a
+
+(** The engine the current process belongs to. *)
+val self_engine : unit -> t
+
+(** Name of the current process. *)
+val self_name : unit -> string
+
+(** Current virtual time, from process context. *)
+val timestamp : unit -> float

@@ -1,0 +1,83 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push h key value =
+  let e = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h e;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let i = ref (h.size - 1) in
+  while !i > 0 do
+    let p = (!i - 1) / 2 in
+    if less h.data.(!i) h.data.(p) then begin
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    end
+    else i := 0
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.data.(!smallest) in
+      h.data.(!smallest) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let e = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h
+  end;
+  (e.key, e.value)
+
+let peek_min h = if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0
+
+let to_list h =
+  let acc = ref [] in
+  for i = h.size - 1 downto 0 do
+    acc := (h.data.(i).key, h.data.(i).value) :: !acc
+  done;
+  !acc

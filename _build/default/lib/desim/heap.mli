@@ -1,0 +1,29 @@
+(** Binary min-heap with stable ordering and O(log n) operations.
+
+    Elements are ordered by a [float] key; ties are broken by insertion
+    sequence number, so two elements with equal keys pop in insertion
+    order.  This stability is what makes the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h key v] inserts [v] with priority [key]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element (key, value).
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min h] returns the minimum without removing it. *)
+val peek_min : 'a t -> (float * 'a) option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_list h] returns all elements in unspecified order (testing aid). *)
+val to_list : 'a t -> (float * 'a) list

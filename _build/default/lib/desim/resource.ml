@@ -1,0 +1,69 @@
+type t = {
+  eng : Engine.t;
+  cap : int;
+  mutable used : int;
+  q : unit Sync.Waitq.t;
+  waits : Stats.t;
+  mutable busy : float;
+  mutable last_change : float;
+  created_at : float;
+}
+
+let create eng ~capacity () =
+  if capacity < 1 then invalid_arg "Resource.create: capacity < 1";
+  {
+    eng;
+    cap = capacity;
+    used = 0;
+    q = Sync.Waitq.create ();
+    waits = Stats.create ();
+    busy = 0.0;
+    last_change = Engine.now eng;
+    created_at = Engine.now eng;
+  }
+
+let account t =
+  let now = Engine.now t.eng in
+  t.busy <- t.busy +. (float_of_int t.used *. (now -. t.last_change));
+  t.last_change <- now
+
+let acquire t =
+  let t0 = Engine.now t.eng in
+  if t.used < t.cap then begin
+    account t;
+    t.used <- t.used + 1
+  end
+  else begin
+    Sync.Waitq.wait t.q
+    (* the releaser transferred the slot: [used] unchanged *)
+  end;
+  let waited = Engine.now t.eng -. t0 in
+  Stats.add t.waits waited;
+  waited
+
+let release t =
+  if t.used <= 0 then invalid_arg "Resource.release: nothing held";
+  if not (Sync.Waitq.wake_one t.q ()) then begin
+    account t;
+    t.used <- t.used - 1
+  end
+
+let use t f =
+  ignore (acquire t);
+  Fun.protect ~finally:(fun () -> release t) f
+
+let capacity t = t.cap
+
+let in_use t = t.used
+
+let queue_length t = Sync.Waitq.length t.q
+
+let wait_stats t = t.waits
+
+let busy_time t =
+  account t;
+  t.busy
+
+let utilization t =
+  let elapsed = Engine.now t.eng -. t.created_at in
+  if elapsed <= 0.0 then 0.0 else busy_time t /. (float_of_int t.cap *. elapsed)

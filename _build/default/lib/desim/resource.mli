@@ -1,0 +1,33 @@
+(** Capacity-limited resource (M/M/c-style server) with FIFO queueing
+    and built-in utilization/wait statistics — a generic building block
+    for discrete-event models (and a self-check for the engine: its
+    measured statistics can be compared against queueing theory). *)
+
+type t
+
+(** [create eng ~capacity ()] — [capacity >= 1] concurrent holders. *)
+val create : Engine.t -> capacity:int -> unit -> t
+
+(** [acquire t] blocks the calling process until a slot is free;
+    returns the time spent waiting. *)
+val acquire : t -> float
+
+val release : t -> unit
+
+(** [use t f] = acquire; run [f]; release (also on exception). *)
+val use : t -> (unit -> 'a) -> 'a
+
+val capacity : t -> int
+
+val in_use : t -> int
+
+val queue_length : t -> int
+
+(** Waiting-time samples of completed acquisitions. *)
+val wait_stats : t -> Stats.t
+
+(** Busy slot-seconds accumulated so far. *)
+val busy_time : t -> float
+
+(** [utilization t] = busy slot-seconds / (capacity × elapsed). *)
+val utilization : t -> float

@@ -1,0 +1,37 @@
+type record = { time : float; tag : string; detail : string }
+
+type t = {
+  mutable records : record list; (* newest first *)
+  mutable count : int;
+  capacity : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 100_000) () = { records = []; count = 0; capacity; on = false }
+
+let enable t = t.on <- true
+
+let disable t = t.on <- false
+
+let enabled t = t.on
+
+let emit t time tag detail =
+  if t.on && t.count < t.capacity then begin
+    t.records <- { time; tag; detail } :: t.records;
+    t.count <- t.count + 1
+  end
+
+let records t = List.rev t.records
+
+let with_tag t tag = List.filter (fun r -> r.tag = tag) (records t)
+
+let clear t =
+  t.records <- [];
+  t.count <- 0
+
+let length t = t.count
+
+let pp ppf t =
+  List.iter
+    (fun r -> Format.fprintf ppf "%.9f %-20s %s@." r.time r.tag r.detail)
+    (records t)

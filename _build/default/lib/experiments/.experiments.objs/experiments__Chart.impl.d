@@ -1,0 +1,1 @@
+lib/experiments/chart.ml: Array Buffer Filename Float Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/exputil.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig4_interrupt.ml: Chart Config Desim Engine Exputil Float Kernel List Machine Oskern Preempt_core Printf Runtime Stats Types Ult

@@ -1,0 +1,1 @@
+lib/experiments/fig6_overhead.ml: Chart Config Desim Engine Exputil Float Kernel List Machine Option Oskern Preempt_core Printf Runtime Types Ult

@@ -1,0 +1,1 @@
+lib/experiments/fig7_cholesky.ml: Chart Config Exputil Float Linalg List Preempt_core Printf Types

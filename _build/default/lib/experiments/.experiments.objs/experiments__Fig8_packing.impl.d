@@ -1,0 +1,1 @@
+lib/experiments/fig8_packing.ml: Chart Config Exputil Float List Multigrid Preempt_core Printf Types

@@ -1,0 +1,1 @@
+lib/experiments/fig9_insitu.ml: Chart Exputil Float List Moldyn Printf

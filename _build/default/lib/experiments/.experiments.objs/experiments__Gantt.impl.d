@@ -1,0 +1,1 @@
+lib/experiments/gantt.ml: Array Buffer Desim Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/sec351_syscalls.ml: Config Desim Engine Exputil Kernel List Machine Oskern Preempt_core Printf Runtime Types Ult

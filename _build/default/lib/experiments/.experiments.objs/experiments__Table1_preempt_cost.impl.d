@@ -1,0 +1,1 @@
+lib/experiments/table1_preempt_cost.ml: Config Desim Engine Exputil Kernel List Machine Oskern Preempt_core Printf Runtime Stats Types Ult

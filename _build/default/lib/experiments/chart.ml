@@ -1,0 +1,92 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let finite v = Float.is_finite v
+
+let render ?(width = 64) ?(height = 16) ?(x_log = false) ?(y_log = false)
+    ?(x_label = "x") ?(y_label = "y") series =
+  let tx v = if x_log then log10 v else v in
+  let ty v = if y_log then log10 v else v in
+  let usable (x, y) =
+    finite x && finite y && ((not x_log) || x > 0.0) && ((not y_log) || y > 0.0)
+  in
+  let pts = List.concat_map (fun s -> List.filter usable s.points) series in
+  if pts = [] then "(no data)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) pts in
+    let ys = List.map (fun (_, y) -> ty y) pts in
+    let xmin = List.fold_left Float.min infinity xs in
+    let xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys in
+    let ymax = List.fold_left Float.max neg_infinity ys in
+    let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+    let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let g = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun p ->
+            if usable p then begin
+              let x, y = p in
+              let cx =
+                int_of_float ((tx x -. xmin) /. xspan *. float_of_int (width - 1))
+              in
+              let cy =
+                int_of_float ((ty y -. ymin) /. yspan *. float_of_int (height - 1))
+              in
+              let row = height - 1 - cy in
+              if row >= 0 && row < height && cx >= 0 && cx < width then
+                grid.(row).(cx) <- g
+            end)
+          s.points)
+      series;
+    let buf = Buffer.create ((width + 16) * (height + 4)) in
+    let axis_fmt v lg = if lg then Printf.sprintf "1e%.1f" v else Printf.sprintf "%.3g" v in
+    Buffer.add_string buf (Printf.sprintf "%s (top=%s)\n" y_label (axis_fmt ymax y_log));
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "  +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %s .. %s%s  (bottom=%s)\n" x_label (axis_fmt xmin x_log)
+         (axis_fmt xmax x_log)
+         (if x_log then " [log]" else "")
+         (axis_fmt ymin y_log));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c %s\n" glyphs.(si mod Array.length glyphs) s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let to_csv ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map (Printf.sprintf "%.9g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write_csv path ~header rows =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv ~header rows))

@@ -1,0 +1,25 @@
+(** Minimal ASCII line charts — the artifact's Plotly plots, terminal
+    edition.  Pure string rendering, unit-testable. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** [render ~width ~height ~x_log ~y_log series] draws all series into
+    one plot; each series uses its own glyph, listed in the legend
+    below the axes.  Points with non-finite or (for log axes)
+    non-positive coordinates are skipped. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_log:bool ->
+  ?y_log:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+
+(** [to_csv ~header rows] — simple CSV encoding (numbers via %.9g). *)
+val to_csv : header:string list -> float list list -> string
+
+(** [write_csv path ~header rows] writes the CSV file, creating parent
+    directories as needed. *)
+val write_csv : string -> header:string list -> float list list -> unit

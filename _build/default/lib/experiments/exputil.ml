@@ -1,0 +1,28 @@
+(** Shared output helpers for the experiment harnesses. *)
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+let row_f fmt = Printf.printf fmt
+
+(* Render a series table: first column is the x value, one column per
+   line of the figure. *)
+let table ~x_label ~columns ~rows ~cell =
+  let w = 24 in
+  Printf.printf "%-10s" x_label;
+  List.iter (fun c -> Printf.printf "%*s" w c) columns;
+  print_newline ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s" (fst r);
+      List.iteri (fun i _ -> Printf.printf "%*s" w (cell (snd r) i)) columns;
+      print_newline ())
+    rows
+
+let us v = Printf.sprintf "%.2f us" (v *. 1e6)
+
+let pct v = Printf.sprintf "%.2f%%" (v *. 100.0)
+
+let seconds v = Printf.sprintf "%.3f s" v

@@ -1,0 +1,83 @@
+type segment = { from_t : float; name : string }
+
+type t = { cores : int; lanes : segment list array (* newest first *) }
+
+(* Trace details: dispatch = "<name> on core<k>"; exit = "<name>";
+   preempt = "<name>".  Occupancy changes on dispatch; an exit or
+   preempt of the current occupant frees the core until the next
+   dispatch. *)
+let parse_dispatch detail =
+  match String.rindex_opt detail ' ' with
+  | None -> None
+  | Some i ->
+      let target = String.sub detail (i + 1) (String.length detail - i - 1) in
+      if String.length target > 4 && String.sub target 0 4 = "core" then
+        let name = String.sub detail 0 (String.index detail ' ') in
+        match int_of_string_opt (String.sub target 4 (String.length target - 4)) with
+        | Some core -> Some (name, core)
+        | None -> None
+      else None
+
+let of_trace ~cores trace =
+  let lanes = Array.make cores [] in
+  let current = Array.make cores None in
+  List.iter
+    (fun (r : Desim.Trace.record) ->
+      match r.tag with
+      | "dispatch" -> (
+          match parse_dispatch r.detail with
+          | Some (name, core) when core < cores ->
+              lanes.(core) <- { from_t = r.time; name } :: lanes.(core);
+              current.(core) <- Some name
+          | _ -> ())
+      | "exit" | "preempt" ->
+          Array.iteri
+            (fun c occ ->
+              if occ = Some r.detail then begin
+                lanes.(c) <- { from_t = r.time; name = "" } :: lanes.(c);
+                current.(c) <- None
+              end)
+            current
+      | _ -> ())
+    (Desim.Trace.records trace);
+  { cores; lanes }
+
+let occupant t ~core ~time =
+  if core < 0 || core >= t.cores then None
+  else
+    let rec find = function
+      | [] -> None
+      | seg :: rest -> if seg.from_t <= time then Some seg.name else find rest
+    in
+    match find t.lanes.(core) with Some "" | None -> None | Some n -> Some n
+
+let render ?(width = 72) ~t0 ~t1 t =
+  if t1 <= t0 then invalid_arg "Gantt.render: empty window";
+  let names = Hashtbl.create 16 in
+  let glyph_of name =
+    match Hashtbl.find_opt names name with
+    | Some g -> g
+    | None ->
+        let glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789" in
+        let g = glyphs.[Hashtbl.length names mod String.length glyphs] in
+        Hashtbl.add names name g;
+        g
+  in
+  let buf = Buffer.create (t.cores * (width + 12)) in
+  Buffer.add_string buf (Printf.sprintf "t = %.6f .. %.6f s\n" t0 t1);
+  for c = 0 to t.cores - 1 do
+    Buffer.add_string buf (Printf.sprintf "core%-3d|" c);
+    for b = 0 to width - 1 do
+      let time = t0 +. ((t1 -. t0) *. (float_of_int b +. 0.5) /. float_of_int width) in
+      match occupant t ~core:c ~time with
+      | Some name -> Buffer.add_char buf (glyph_of name)
+      | None -> Buffer.add_char buf '.'
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  let legend =
+    Hashtbl.fold (fun name g acc -> (g, name) :: acc) names []
+    |> List.sort compare
+  in
+  List.iter (fun (g, name) -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" g name)) legend;
+  Buffer.contents buf

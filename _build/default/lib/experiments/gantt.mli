@@ -1,0 +1,18 @@
+(** ASCII Gantt charts of simulated core occupancy, reconstructed from
+    the kernel trace ("dispatch"/"exit" records).
+
+    Each core is a lane; each time bucket shows a glyph identifying the
+    KLT that occupied the core (the most recent dispatch), or '.' when
+    idle.  A legend maps glyphs to KLT names. *)
+
+type t
+
+(** [of_trace ~cores trace] replays the trace into per-core timelines. *)
+val of_trace : cores:int -> Desim.Trace.t -> t
+
+(** [render ~t0 ~t1 ~width t] draws the window [t0, t1) in [width]
+    buckets per lane. *)
+val render : ?width:int -> t0:float -> t1:float -> t -> string
+
+(** The KLT (if any) occupying [core] at [time] — for tests. *)
+val occupant : t -> core:int -> time:float -> string option

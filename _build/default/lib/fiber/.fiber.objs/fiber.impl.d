@@ -1,0 +1,1 @@
+lib/fiber/fiber.ml: Deque Fsync Sched

@@ -1,0 +1,1 @@
+lib/fiber/deque.ml: Fun List Mutex

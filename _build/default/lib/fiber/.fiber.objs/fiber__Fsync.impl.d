@@ -1,0 +1,1 @@
+lib/fiber/fsync.ml: Fun List Queue Sched Stdlib

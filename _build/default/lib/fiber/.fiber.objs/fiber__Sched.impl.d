@@ -1,0 +1,1 @@
+lib/fiber/sched.ml: Array Atomic Condition Deque Domain Effect List Mutex Stdlib Thread

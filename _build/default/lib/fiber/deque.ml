@@ -1,0 +1,51 @@
+type 'a t = { lock : Mutex.t; mutable front : 'a list; mutable back : 'a list; mutable size : int }
+
+let create () = { lock = Mutex.create (); front = []; back = []; size = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x =
+  with_lock t (fun () ->
+      t.back <- x :: t.back;
+      t.size <- t.size + 1)
+
+let push_front t x =
+  with_lock t (fun () ->
+      t.front <- x :: t.front;
+      t.size <- t.size + 1)
+
+let pop t =
+  with_lock t (fun () ->
+      match t.back with
+      | x :: rest ->
+          t.back <- rest;
+          t.size <- t.size - 1;
+          Some x
+      | [] -> (
+          match List.rev t.front with
+          | [] -> None
+          | x :: rest ->
+              t.front <- [];
+              t.back <- rest;
+              t.size <- t.size - 1;
+              Some x))
+
+let steal t =
+  with_lock t (fun () ->
+      match t.front with
+      | x :: rest ->
+          t.front <- rest;
+          t.size <- t.size - 1;
+          Some x
+      | [] -> (
+          match List.rev t.back with
+          | [] -> None
+          | x :: rest ->
+              t.front <- rest;
+              t.back <- [];
+              t.size <- t.size - 1;
+              Some x))
+
+let length t = t.size

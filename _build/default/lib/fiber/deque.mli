@@ -1,0 +1,26 @@
+(** Mutex-protected work-stealing deque.
+
+    The owner pushes and pops at the back (LIFO, cache-friendly);
+    thieves steal from the front (FIFO, oldest work first).  A plain
+    lock keeps the implementation obviously correct; the runtime it
+    serves demonstrates scheduling semantics, not lock-free peak
+    throughput. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+(** Push at the thief end: the owner reaches it after everything pushed
+    with {!push} (used for yields, so a yielding fiber goes behind all
+    other local work). *)
+val push_front : 'a t -> 'a -> unit
+
+(** Owner end. *)
+val pop : 'a t -> 'a option
+
+(** Thief end. *)
+val steal : 'a t -> 'a option
+
+val length : 'a t -> int

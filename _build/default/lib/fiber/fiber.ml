@@ -1,0 +1,4 @@
+(* Library facade: the runtime API plus its companion modules. *)
+include Sched
+module Deque = Deque
+module Fsync = Fsync

@@ -1,0 +1,186 @@
+(* All primitives follow the same pattern: a host [Mutex.t] protects the
+   state; blocked fibers park a wake closure (provided by
+   [Fiber.suspend]) in the state and are re-queued by whoever changes
+   it.  The host lock is only held for O(1) bookkeeping. *)
+
+module Mutex = struct
+  type t = {
+    lock : Stdlib.Mutex.t;
+    mutable held : bool;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create () = { lock = Stdlib.Mutex.create (); held = false; waiters = Queue.create () }
+
+  let lock t =
+    let acquired = ref false in
+    while not !acquired do
+      Sched.suspend_or (fun wake ->
+          Stdlib.Mutex.lock t.lock;
+          if not t.held then begin
+            t.held <- true;
+            acquired := true;
+            Stdlib.Mutex.unlock t.lock;
+            `Continue
+          end
+          else begin
+            Queue.add wake t.waiters;
+            Stdlib.Mutex.unlock t.lock;
+            `Suspended
+          end)
+    done
+
+  let try_lock t =
+    Stdlib.Mutex.lock t.lock;
+    let got = not t.held in
+    if got then t.held <- true;
+    Stdlib.Mutex.unlock t.lock;
+    got
+
+  let unlock t =
+    Stdlib.Mutex.lock t.lock;
+    if not t.held then begin
+      Stdlib.Mutex.unlock t.lock;
+      invalid_arg "Fsync.Mutex.unlock: not locked"
+    end
+    else begin
+      (* Release and wake one candidate; it re-contends (barging is fine
+         and avoids lock-ownership transfer subtleties). *)
+      t.held <- false;
+      let w = Queue.take_opt t.waiters in
+      Stdlib.Mutex.unlock t.lock;
+      match w with Some wake -> wake () | None -> ()
+    end
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Semaphore = struct
+  type t = {
+    lock : Stdlib.Mutex.t;
+    mutable count : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Fsync.Semaphore.create: negative";
+    { lock = Stdlib.Mutex.create (); count = n; waiters = Queue.create () }
+
+  let acquire t =
+    let acquired = ref false in
+    while not !acquired do
+      Sched.suspend_or (fun wake ->
+          Stdlib.Mutex.lock t.lock;
+          if t.count > 0 then begin
+            t.count <- t.count - 1;
+            acquired := true;
+            Stdlib.Mutex.unlock t.lock;
+            `Continue
+          end
+          else begin
+            Queue.add wake t.waiters;
+            Stdlib.Mutex.unlock t.lock;
+            `Suspended
+          end)
+    done
+
+  let release t =
+    Stdlib.Mutex.lock t.lock;
+    t.count <- t.count + 1;
+    let w = Queue.take_opt t.waiters in
+    Stdlib.Mutex.unlock t.lock;
+    match w with Some wake -> wake () | None -> ()
+end
+
+module Channel = struct
+  type 'a t = {
+    lock : Stdlib.Mutex.t;
+    items : 'a Queue.t;
+    readers : (unit -> unit) Queue.t;
+  }
+
+  let create () =
+    { lock = Stdlib.Mutex.create (); items = Queue.create (); readers = Queue.create () }
+
+  let send t v =
+    Stdlib.Mutex.lock t.lock;
+    Queue.add v t.items;
+    let r = Queue.take_opt t.readers in
+    Stdlib.Mutex.unlock t.lock;
+    match r with Some wake -> wake () | None -> ()
+
+  let try_recv t =
+    Stdlib.Mutex.lock t.lock;
+    let v = Queue.take_opt t.items in
+    Stdlib.Mutex.unlock t.lock;
+    v
+
+  let rec recv t =
+    match try_recv t with
+    | Some v -> v
+    | None ->
+        Sched.suspend_or (fun wake ->
+            Stdlib.Mutex.lock t.lock;
+            if Queue.is_empty t.items then begin
+              Queue.add wake t.readers;
+              Stdlib.Mutex.unlock t.lock;
+              `Suspended
+            end
+            else begin
+              Stdlib.Mutex.unlock t.lock;
+              `Continue
+            end);
+        recv t
+
+  let length t =
+    Stdlib.Mutex.lock t.lock;
+    let n = Queue.length t.items in
+    Stdlib.Mutex.unlock t.lock;
+    n
+end
+
+module Barrier = struct
+  type t = {
+    lock : Stdlib.Mutex.t;
+    parties : int;
+    mutable arrived : int;
+    mutable generation : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create parties =
+    if parties <= 0 then invalid_arg "Fsync.Barrier.create: parties <= 0";
+    {
+      lock = Stdlib.Mutex.create ();
+      parties;
+      arrived = 0;
+      generation = 0;
+      waiters = [];
+    }
+
+  let wait t =
+    let passed = ref false in
+    while not !passed do
+      Sched.suspend_or (fun wake ->
+          Stdlib.Mutex.lock t.lock;
+          t.arrived <- t.arrived + 1;
+          if t.arrived = t.parties then begin
+            t.arrived <- 0;
+            t.generation <- t.generation + 1;
+            let ws = t.waiters in
+            t.waiters <- [];
+            passed := true;
+            Stdlib.Mutex.unlock t.lock;
+            List.iter (fun w -> w ()) ws;
+            `Continue
+          end
+          else begin
+            t.waiters <- wake :: t.waiters;
+            passed := true (* will pass once woken *);
+            Stdlib.Mutex.unlock t.lock;
+            `Suspended
+          end)
+    done
+end

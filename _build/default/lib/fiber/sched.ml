@@ -1,0 +1,330 @@
+type task = unit -> unit
+
+type worker = {
+  wid : int;
+  deque : task Deque.t;
+  mutable preempt : bool;  (* set by the ticker, cleared at safe points *)
+  mutable rng_state : int;
+}
+
+type pool = {
+  workers : worker array;
+  mutable doms : unit Domain.t list;
+  lock : Mutex.t;  (* protects epoch/shutdown + condvar *)
+  cond : Condition.t;
+  mutable epoch : int;  (* bumped on every push: lost-wakeup guard *)
+  mutable shutdown : bool;
+  mutable active_runs : int;
+  preempt_interval : float option;
+  mutable ticker : Thread.t option;
+  preempt_count : int Atomic.t;
+}
+
+type 'a state = Pending of (unit -> unit) list | Resolved of 'a | Failed of exn
+
+type 'a promise = { mutex : Mutex.t; mutable state : 'a state }
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Suspend_or :
+      ((unit -> unit) -> [ `Continue | `Suspended ])
+      -> unit Effect.t
+
+(* Which worker the current thread is. *)
+let current_worker : (pool * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let self () =
+  match Domain.DLS.get current_worker with
+  | Some pw -> pw
+  | None -> failwith "Fiber: not inside a fiber runtime worker"
+
+let wake_all pool =
+  Mutex.lock pool.lock;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.lock
+
+let push_task pool w task =
+  Deque.push w.deque task;
+  wake_all pool
+
+(* A yielded fiber goes to the thief end: the owner (who pops LIFO)
+   runs every other local task first, so yield actually gives way. *)
+let push_task_yield pool w task =
+  Deque.push_front w.deque task;
+  wake_all pool
+
+(* Cheap xorshift for victim selection. *)
+let next_rand w =
+  let x = w.rng_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  w.rng_state <- x land max_int;
+  w.rng_state
+
+let find_task pool w =
+  match Deque.pop w.deque with
+  | Some t -> Some t
+  | None ->
+      let n = Array.length pool.workers in
+      let rec probe k =
+        if k = 0 then None
+        else
+          let v = next_rand w mod n in
+          if v = w.wid then probe (k - 1)
+          else
+            match Deque.steal pool.workers.(v).deque with
+            | Some t -> Some t
+            | None -> probe (k - 1)
+      in
+      (match probe (2 * n) with
+      | Some t -> Some t
+      | None ->
+          (* Deterministic sweep so no task is missed. *)
+          let rec sweep i =
+            if i = n then None
+            else if i = w.wid then sweep (i + 1)
+            else
+              match Deque.steal pool.workers.(i).deque with
+              | Some t -> Some t
+              | None -> sweep (i + 1)
+          in
+          sweep 0)
+
+let handler pool =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let _, w = self () in
+                push_task_yield pool w (fun () -> continue k ()))
+        | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                register (fun () ->
+                    let _, w = self () in
+                    push_task pool w (fun () -> continue k ())))
+        | Suspend_or decide ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let wake () =
+                  let _, w = self () in
+                  push_task pool w (fun () -> continue k ())
+                in
+                match decide wake with
+                | `Continue -> continue k ()
+                | `Suspended -> ())
+        | _ -> None);
+  }
+
+let make_fiber pool body = fun () -> Effect.Deep.match_with body () (handler pool)
+
+(* ------------------------------------------------------------------ *)
+(* Promises. *)
+
+let promise () = { mutex = Mutex.create (); state = Pending [] }
+
+let resolve p outcome =
+  Mutex.lock p.mutex;
+  let waiters = match p.state with Pending ws -> ws | Resolved _ | Failed _ -> [] in
+  p.state <- outcome;
+  Mutex.unlock p.mutex;
+  List.iter (fun wake -> wake ()) waiters
+
+let is_resolved p =
+  Mutex.lock p.mutex;
+  let r = match p.state with Pending _ -> false | Resolved _ | Failed _ -> true in
+  Mutex.unlock p.mutex;
+  r
+
+let spawn body =
+  let pool, w = self () in
+  let p = promise () in
+  let fiber =
+    make_fiber pool (fun () ->
+        match body () with
+        | v -> resolve p (Resolved v)
+        | exception e -> resolve p (Failed e))
+  in
+  push_task pool w fiber;
+  p
+
+let await p =
+  let rec value () =
+    match p.state with
+    | Resolved v -> v
+    | Failed e -> raise e
+    | Pending _ ->
+        Effect.perform
+          (Suspend
+             (fun wake ->
+               Mutex.lock p.mutex;
+               match p.state with
+               | Pending ws ->
+                   p.state <- Pending (wake :: ws);
+                   Mutex.unlock p.mutex
+               | Resolved _ | Failed _ ->
+                   Mutex.unlock p.mutex;
+                   wake ()));
+        value ()
+  in
+  value ()
+
+let yield () = Effect.perform Yield
+
+let suspend_or decide = Effect.perform (Suspend_or decide)
+
+let check () =
+  let pool, w = self () in
+  if w.preempt then begin
+    w.preempt <- false;
+    Atomic.incr pool.preempt_count;
+    yield ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers. *)
+
+let worker_loop pool w ~until =
+  Domain.DLS.set current_worker (Some (pool, w));
+  let rec loop () =
+    if (not (until ())) && not pool.shutdown then begin
+      let epoch_before =
+        Mutex.lock pool.lock;
+        let e = pool.epoch in
+        Mutex.unlock pool.lock;
+        e
+      in
+      (match find_task pool w with
+      | Some task -> task ()
+      | None ->
+          (* Nothing found: sleep unless work arrived since we looked. *)
+          Mutex.lock pool.lock;
+          if pool.epoch = epoch_before && (not (until ())) && not pool.shutdown then
+            Condition.wait pool.cond pool.lock;
+          Mutex.unlock pool.lock);
+      loop ()
+    end
+  in
+  loop ();
+  Domain.DLS.set current_worker None
+
+let domain_main pool w = worker_loop pool w ~until:(fun () -> false)
+
+let ticker_loop pool interval =
+  while not pool.shutdown do
+    Thread.delay interval;
+    Array.iter (fun w -> w.preempt <- true) pool.workers
+  done
+
+let create ?domains ?preempt_interval () =
+  let n =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Fiber.create: domains < 1"
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let workers =
+    Array.init n (fun wid ->
+        { wid; deque = Deque.create (); preempt = false; rng_state = (wid * 7919) + 13 })
+  in
+  let pool =
+    {
+      workers;
+      doms = [];
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      epoch = 0;
+      shutdown = false;
+      active_runs = 0;
+      preempt_interval;
+      ticker = None;
+      preempt_count = Atomic.make 0;
+    }
+  in
+  (* Worker 0 is the caller inside [run]; spawn domains for the rest. *)
+  pool.doms <-
+    List.init (n - 1) (fun i -> Domain.spawn (fun () -> domain_main pool workers.(i + 1)));
+  (match preempt_interval with
+  | Some dt when dt > 0.0 -> pool.ticker <- Some (Thread.create (fun () -> ticker_loop pool dt) ())
+  | Some _ -> invalid_arg "Fiber.create: preempt_interval <= 0"
+  | None -> ());
+  pool
+
+let domains pool = Array.length pool.workers
+
+let preemptions pool = Atomic.get pool.preempt_count
+
+let run pool main =
+  if pool.shutdown then invalid_arg "Fiber.run: pool is shut down";
+  (match Domain.DLS.get current_worker with
+  | Some _ -> invalid_arg "Fiber.run: reentrant call from inside a fiber"
+  | None -> ());
+  let result = ref None in
+  let p = promise () in
+  let fiber =
+    make_fiber pool (fun () ->
+        (match main () with
+        | v -> result := Some (Ok v)
+        | exception e -> result := Some (Error e));
+        resolve p (Resolved ());
+        (* Worker 0 may be asleep with nothing left to do. *)
+        wake_all pool)
+  in
+  let w0 = pool.workers.(0) in
+  Deque.push w0.deque fiber;
+  wake_all pool;
+  worker_loop pool w0 ~until:(fun () -> is_resolved p);
+  (* Drain any leftover ready work this run created?  Fibers spawned but
+     not awaited keep running on the other domains; that is by design. *)
+  match !result with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> failwith "Fiber.run: main fiber did not complete"
+
+let shutdown pool =
+  pool.shutdown <- true;
+  wake_all pool;
+  List.iter Domain.join pool.doms;
+  (match pool.ticker with Some t -> Thread.join t | None -> ());
+  pool.doms <- []
+
+let parallel_map f xs =
+  let ps = List.map (fun x -> spawn (fun () -> f x)) xs in
+  List.map await ps
+
+let parallel_for ?chunk lo hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let pool, _ = self () in
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | Some _ -> invalid_arg "Fiber.parallel_for: chunk <= 0"
+      | None -> Stdlib.max 1 (n / (8 * Array.length pool.workers))
+    in
+    let rec spawn_chunks acc i =
+      if i >= hi then acc
+      else
+        let j = Stdlib.min hi (i + chunk) in
+        let p =
+          spawn (fun () ->
+              for x = i to j - 1 do
+                f x;
+                check ()
+              done)
+        in
+        spawn_chunks (p :: acc) j
+    in
+    let ps = spawn_chunks [] lo in
+    List.iter (fun p -> await p) ps
+  end

@@ -1,0 +1,69 @@
+(** A real, executable M:N fiber runtime on OCaml 5 effects + domains —
+    the native-OCaml counterpart of the paper's M:N threading model.
+
+    M fibers are multiplexed over N domains ("workers") with work
+    stealing.  Scheduling is cooperative ([yield], [await]); preemption
+    is {e safe-point based}: a ticker marks workers for preemption every
+    [preempt_interval], and a fiber crossing a {!check} point (or an
+    explicit {!yield}) is descheduled.  This is the GHC-style variant
+    the paper's §5 discusses — portable OCaml cannot context-switch
+    inside an asynchronous signal handler, so true signal-yield
+    semantics are exercised in the simulator instead (see DESIGN.md). *)
+
+type pool
+
+type 'a promise
+
+(** [create ~domains ()] — [domains] defaults to
+    [Domain.recommended_domain_count () - 1], at least 1.
+    [preempt_interval] (seconds) arms the preemption ticker; [None]
+    (default) leaves the runtime purely cooperative. *)
+val create : ?domains:int -> ?preempt_interval:float -> unit -> pool
+
+val domains : pool -> int
+
+(** [run pool main] executes [main ()] as a fiber, with the calling
+    thread participating as a worker, and returns its result.  Re-raises
+    any exception [main] threw.  Not reentrant from inside a fiber. *)
+val run : pool -> (unit -> 'a) -> 'a
+
+(** Stop the worker domains and join them.  The pool cannot be reused. *)
+val shutdown : pool -> unit
+
+(** {1 Fiber operations — valid only inside fibers} *)
+
+(** Fork a child fiber. *)
+val spawn : (unit -> 'a) -> 'a promise
+
+(** Wait for a promise; re-raises if the child failed. *)
+val await : 'a promise -> 'a
+
+val yield : unit -> unit
+
+(** [suspend_or decide] — atomic conditional suspension, the building
+    block of {!Fsync}.  [decide wake] runs on the current worker; if it
+    returns [`Suspended] it must have arranged for [wake] to be called
+    exactly once later (from any fiber), which reschedules this fiber;
+    if it returns [`Continue] the fiber proceeds and [wake] must never
+    be called. *)
+val suspend_or : ((unit -> unit) -> [ `Continue | `Suspended ]) -> unit
+
+(** Preemption safe point: yields iff the ticker has marked this worker.
+    Free when no preemption is requested. *)
+val check : unit -> unit
+
+(** True once the promise is fulfilled (never blocks). *)
+val is_resolved : 'a promise -> bool
+
+(** [parallel_for ~chunk lo hi f] runs [f i] for [lo <= i < hi] across
+    fibers of [chunk] iterations each ([chunk] defaults to a heuristic),
+    checking the preemption flag between iterations. *)
+val parallel_for : ?chunk:int -> int -> int -> (int -> unit) -> unit
+
+(** Number of preemptions taken (ticker-initiated deschedules). *)
+val preemptions : pool -> int
+
+(** [parallel_map f xs] — apply [f] to every element in parallel fibers
+    (one per element; use {!parallel_for} + arrays for fine-grained
+    ranges). Order preserved. *)
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,1 @@
+lib/linalg/blas_model.ml: Ompmodel Oskern Preempt_core Runtime Ult

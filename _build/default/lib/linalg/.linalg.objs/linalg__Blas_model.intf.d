@@ -1,0 +1,1 @@
+lib/linalg/blas_model.mli: Ompmodel Oskern Preempt_core

@@ -1,0 +1,1 @@
+lib/linalg/cholesky_run.ml: Array Blas_model Config Desim Engine Float Kernel List Machine Ompmodel Oskern Preempt_core Printf Queue Runtime Tiled Types Ult

@@ -1,0 +1,1 @@
+lib/linalg/cholesky_run.mli: Blas_model Oskern Preempt_core

@@ -1,0 +1,1 @@
+lib/linalg/tiled.ml: Array Float Hashtbl List Matrix Printf

@@ -1,0 +1,1 @@
+lib/linalg/tiled.mli: Matrix

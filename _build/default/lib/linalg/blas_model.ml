@@ -1,0 +1,44 @@
+open Preempt_core
+
+type barrier_style = Busy_wait | Yield_wait
+
+let spin_poll = 20e-6
+
+let ult_team_compute rt ~kind ~style ~seconds ~inner =
+  if inner <= 1 then Ult.compute seconds
+  else begin
+    let arrived = ref 0 in
+    let per = seconds /. float_of_int inner in
+    let member () =
+      Ult.compute per;
+      incr arrived;
+      (* MKL threads spin at the team barrier until everyone arrives. *)
+      match style with
+      | Busy_wait ->
+          while !arrived < inner do
+            Ult.compute spin_poll
+          done
+      | Yield_wait ->
+          while !arrived < inner do
+            Ult.yield ()
+          done
+    in
+    for _ = 2 to inner do
+      ignore (Runtime.spawn rt ~kind ~name:"mkl-inner" member)
+    done;
+    member ()
+  end
+
+let omp_team_compute omp ~master ~seconds ~inner =
+  let k = Ompmodel.Omp.kernel omp in
+  if inner <= 1 then Oskern.Kernel.compute k master seconds
+  else begin
+    let arrived = ref 0 in
+    let per = seconds /. float_of_int inner in
+    Ompmodel.Omp.parallel omp ~master ~nthreads:inner (fun _tid klt ->
+        Oskern.Kernel.compute k klt per;
+        incr arrived;
+        (* Stock MKL busy-wait is harmless under 1:1 threads: the OS
+           preempts the spinners. *)
+        Oskern.Kernel.busy_wait k klt ~poll:spin_poll (fun () -> !arrived >= inner))
+  end

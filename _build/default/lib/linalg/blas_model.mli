@@ -1,0 +1,31 @@
+(** Simulated Intel-MKL-style parallel BLAS kernel execution.
+
+    An OpenMP-parallel MKL kernel runs its flops on an inner thread team
+    and synchronizes by {e busy-looping on a memory flag} — the behavior
+    that deadlocks nonpreemptive M:N runtimes (paper §4.1).  The
+    [Yield_wait] style is the paper's "reverse-engineered" MKL whose
+    wait loops yield explicitly. *)
+
+type barrier_style =
+  | Busy_wait  (** stock MKL: spin without yielding *)
+  | Yield_wait  (** reverse-engineered MKL: yield inside the wait loop *)
+
+(** [ult_team_compute rt ~kind ~style ~seconds ~inner] — call from a
+    ULT: burns [seconds] of total CPU across [inner] threads (the caller
+    plus [inner-1] freshly spawned ULTs of the same [kind]), then joins
+    them MKL-style. *)
+val ult_team_compute :
+  Preempt_core.Runtime.t ->
+  kind:Preempt_core.Types.thread_kind ->
+  style:barrier_style ->
+  seconds:float ->
+  inner:int ->
+  unit
+
+(** Same shape for the 1:1 OpenMP baseline — call from a KLT. *)
+val omp_team_compute :
+  Ompmodel.Omp.t ->
+  master:Oskern.Kernel.klt ->
+  seconds:float ->
+  inner:int ->
+  unit

@@ -1,0 +1,128 @@
+type op = Potrf of int | Trsm of int * int | Syrk of int * int | Gemm of int * int * int
+
+type task = { id : int; op : op; preds : int list; succs : int list }
+
+let op_name = function
+  | Potrf k -> Printf.sprintf "potrf(%d)" k
+  | Trsm (i, k) -> Printf.sprintf "trsm(%d,%d)" i k
+  | Syrk (i, k) -> Printf.sprintf "syrk(%d,%d)" i k
+  | Gemm (i, j, k) -> Printf.sprintf "gemm(%d,%d,%d)" i j k
+
+(* Tiles read / written by each task; dependencies are derived from
+   last-writer tracking in program order, which matches the OpenMP
+   task-dependence semantics SLATE relies on. *)
+let reads = function
+  | Potrf _ -> []
+  | Trsm (_, k) -> [ (k, k) ]
+  | Syrk (i, k) -> [ (i, k) ]
+  | Gemm (i, j, k) -> [ (i, k); (j, k) ]
+  [@@warning "-27"]
+
+let writes = function
+  | Potrf k -> (k, k)
+  | Trsm (i, k) -> (i, k)
+  | Syrk (i, _) -> (i, i)
+  | Gemm (i, j, _) -> (i, j)
+
+let dag t =
+  if t <= 0 then invalid_arg "Tiled.dag: t <= 0";
+  let ops = ref [] in
+  for k = 0 to t - 1 do
+    ops := Potrf k :: !ops;
+    for i = k + 1 to t - 1 do
+      ops := Trsm (i, k) :: !ops
+    done;
+    for i = k + 1 to t - 1 do
+      for j = k + 1 to i do
+        if j = i then ops := Syrk (i, k) :: !ops else ops := Gemm (i, j, k) :: !ops
+      done
+    done
+  done;
+  let ops = Array.of_list (List.rev !ops) in
+  let n = Array.length ops in
+  let last_writer : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun id op ->
+      let dep_tiles = writes op :: reads op in
+      let ps =
+        List.sort_uniq compare
+          (List.filter_map (fun tile -> Hashtbl.find_opt last_writer tile) dep_tiles)
+      in
+      preds.(id) <- ps;
+      List.iter (fun p -> succs.(p) <- id :: succs.(p)) ps;
+      Hashtbl.replace last_writer (writes op) id)
+    ops;
+  Array.init n (fun id ->
+      { id; op = ops.(id); preds = preds.(id); succs = List.rev succs.(id) })
+
+let flops op ~b =
+  match op with
+  | Potrf _ -> Matrix.flops_potrf b
+  | Trsm _ -> Matrix.flops_trsm b
+  | Syrk _ -> Matrix.flops_syrk b
+  | Gemm _ -> Matrix.flops_gemm b
+
+let total_flops t ~b = Array.fold_left (fun acc tk -> acc +. flops tk.op ~b) 0.0 (dag t)
+
+let critical_path_flops t ~b =
+  let tasks = dag t in
+  let finish = Array.make (Array.length tasks) 0.0 in
+  Array.iter
+    (fun tk ->
+      let start = List.fold_left (fun acc p -> Float.max acc finish.(p)) 0.0 tk.preds in
+      finish.(tk.id) <- start +. flops tk.op ~b)
+    tasks;
+  Array.fold_left Float.max 0.0 finish
+
+(* ------------------------------------------------------------------ *)
+(* Real tiled execution. *)
+
+type tiles = { t : int; b : int; blocks : Matrix.t array }
+
+let split m ~t =
+  let n = Matrix.dim m in
+  if n mod t <> 0 then invalid_arg "Tiled.split: dim not divisible by t";
+  let b = n / t in
+  let blocks =
+    Array.init (t * t) (fun idx ->
+        let bi = idx / t and bj = idx mod t in
+        let blk = Matrix.create b in
+        for i = 0 to b - 1 do
+          for j = 0 to b - 1 do
+            Matrix.set blk i j (Matrix.get m ((bi * b) + i) ((bj * b) + j))
+          done
+        done;
+        blk)
+  in
+  { t; b; blocks }
+
+let block ts i j = ts.blocks.((i * ts.t) + j)
+
+let join ts =
+  let n = ts.t * ts.b in
+  let m = Matrix.create n in
+  for bi = 0 to ts.t - 1 do
+    for bj = 0 to ts.t - 1 do
+      if bj <= bi then
+        let blk = block ts bi bj in
+        for i = 0 to ts.b - 1 do
+          for j = 0 to ts.b - 1 do
+            Matrix.set m ((bi * ts.b) + i) ((bj * ts.b) + j) (Matrix.get blk i j)
+          done
+        done
+    done
+  done;
+  m
+
+let apply_op ts = function
+  | Potrf k -> Matrix.potrf (block ts k k)
+  | Trsm (i, k) -> Matrix.trsm (block ts k k) (block ts i k)
+  | Syrk (i, k) -> Matrix.syrk (block ts i k) (block ts i i)
+  | Gemm (i, j, k) -> Matrix.gemm (block ts i k) (block ts j k) (block ts i j)
+
+let factorize m ~t =
+  let ts = split m ~t in
+  Array.iter (fun tk -> apply_op ts tk.op) (dag t);
+  join ts

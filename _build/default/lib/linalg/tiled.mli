@@ -1,0 +1,52 @@
+(** Tiled right-looking Cholesky factorization as a task DAG with data
+    dependencies — the SLATE kernel of the paper's §4.1.
+
+    The DAG is built once and consumed both by the {e real} executor
+    (operating on actual tiles, for correctness tests) and by the
+    simulated runs (which only need each task's flop cost and
+    dependency structure). *)
+
+type op =
+  | Potrf of int  (** factor diagonal tile [(k,k)] *)
+  | Trsm of int * int  (** panel solve of tile [(i,k)] against [(k,k)] *)
+  | Syrk of int * int  (** [(i,i) -= (i,k)·(i,k)ᵀ] *)
+  | Gemm of int * int * int  (** [(i,j) -= (i,k)·(j,k)ᵀ] *)
+
+type task = {
+  id : int;
+  op : op;
+  preds : int list;  (** ids of tasks this one waits for *)
+  succs : int list;  (** ids of tasks waiting for this one *)
+}
+
+(** [dag t] builds the task graph for a [t x t] tile grid.  Tasks are in
+    a valid sequential order (program order). *)
+val dag : int -> task array
+
+(** Flop cost of a task for tile dimension [b]. *)
+val flops : op -> b:int -> float
+
+(** Total flops of the whole factorization. *)
+val total_flops : int -> b:int -> float
+
+(** Longest path through the DAG in flops (critical path) — a lower
+    bound on parallel execution. *)
+val critical_path_flops : int -> b:int -> float
+
+(** {1 Real execution} *)
+
+(** A matrix cut into [t x t] tiles of dimension [b]. *)
+type tiles
+
+val split : Matrix.t -> t:int -> tiles
+
+(** Reassemble (lower triangle of the factor; upper tiles zeroed). *)
+val join : tiles -> Matrix.t
+
+(** [apply_op tiles op] runs one task's real computation. *)
+val apply_op : tiles -> op -> unit
+
+(** [factorize m ~t] = split, run all tasks in order, join. *)
+val factorize : Matrix.t -> t:int -> Matrix.t
+
+val op_name : op -> string

@@ -1,0 +1,1 @@
+lib/moldyn/insitu_run.ml: Config Desim Engine Float Hashtbl Kernel List Machine Ompmodel Oskern Preempt_core Printf Rng Runtime Sched_priority Sched_ws Types Ult Usync

@@ -1,0 +1,1 @@
+lib/moldyn/insitu_run.mli: Oskern

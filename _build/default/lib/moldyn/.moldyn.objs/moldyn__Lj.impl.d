@@ -1,0 +1,1 @@
+lib/moldyn/lj.ml: Array Desim Float Stdlib

@@ -1,0 +1,1 @@
+lib/moldyn/lj.mli: Desim

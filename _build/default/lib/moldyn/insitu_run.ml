@@ -1,0 +1,177 @@
+open Desim
+open Oskern
+open Preempt_core
+module Omp = Ompmodel.Omp
+
+type runtime_kind = Pthreads | Argobots
+
+type config = { rk : runtime_kind; priority : bool }
+
+type result = { time : float; idle_frac : float }
+
+let config_name { rk; priority } =
+  Printf.sprintf "%s (%s priority)"
+    (match rk with Pthreads -> "Pthreads" | Argobots -> "Argobots")
+    (if priority then "w/" else "w/o")
+
+(* Calibrated so that a 1.4e7-atom, 100-step, 56-core node simulates in
+   ~40 s like the paper's Fig. 9 bars (see EXPERIMENTS.md).  Force
+   phases carry a +-15% per-thread spatial load imbalance: the straggler
+   slack inside a region plus the MPI gap is where analysis threads can
+   run without delaying the simulation. *)
+let force_cost_per_atom = 1.4e-6 (* core-seconds per atom per step *)
+
+let imbalance = 0.15
+
+let comm_base = 0.01 (* sequential MPI time per step, plus a size term *)
+
+let comm_cost_per_atom = 1.5e-9
+
+let analysis_cost_per_atom = 2.4e-7 (* core-seconds per atom per snapshot *)
+
+(* Per-(step, thread) force share: same deterministic pattern for every
+   configuration so comparisons are apples-to-apples. *)
+let force_share ~t_force ~workers rng_tbl step tid =
+  let key = (step, tid) in
+  match Hashtbl.find_opt rng_tbl key with
+  | Some v -> v
+  | None ->
+      let u =
+        let r = Rng.make ((step * 8191) + tid + 17) in
+        Rng.float r
+      in
+      let v = t_force *. (1.0 -. imbalance +. (2.0 *. imbalance *. u)) in
+      ignore workers;
+      Hashtbl.replace rng_tbl key v;
+      v
+
+let run_argobots machine ~workers ~atoms ~steps ~analysis_interval ~priority =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng machine in
+  let cfg =
+    {
+      Config.default with
+      Config.timer_strategy =
+        (if priority then Config.Per_process_chain else Config.No_timer);
+      interval = 1e-3;
+      idle_poll = 100e-6;
+    }
+  in
+  let scheduler = if priority then Sched_priority.make () else Sched_ws.make () in
+  let rt = Runtime.create ~config:cfg ~scheduler kernel ~n_workers:workers in
+  let t_force = atoms *. force_cost_per_atom /. float_of_int workers in
+  let t_comm = comm_base +. (atoms *. comm_cost_per_atom) in
+  let n_analysis = workers - 1 in
+  let t_analysis = atoms *. analysis_cost_per_atom /. float_of_int n_analysis in
+  let shares = Hashtbl.create 1024 in
+  let finish = ref 0.0 in
+  let record_finish () = finish := Float.max !finish (Ult.now ()) in
+  ignore
+    (Runtime.spawn rt ~name:"md-main" (fun () ->
+         for step = 1 to steps do
+           (* Kokkos-style parallel region: one thread per worker. *)
+           let sims =
+             List.init workers (fun i ->
+                 let share = force_share ~t_force ~workers shares step i in
+                 Runtime.spawn rt ~home:i ~name:"sim" (fun () -> Ult.compute share))
+           in
+           (match analysis_interval with
+           | Some k when step mod k = 0 ->
+               for i = 0 to n_analysis - 1 do
+                 ignore
+                   (Runtime.spawn rt
+                      ~kind:(if priority then Types.Signal_yield else Types.Nonpreemptive)
+                      ~priority:(if priority then 1 else 0)
+                      ~home:i ~name:"analysis"
+                      (fun () ->
+                        Ult.compute t_analysis;
+                        record_finish ()))
+               done
+           | Some _ | None -> ());
+           List.iter (fun u -> Usync.join rt u) sims;
+           (* Sequential MPI communication: only the main thread busy. *)
+           Ult.compute t_comm
+         done;
+         record_finish ()));
+  Runtime.start rt;
+  Engine.run eng;
+  (* Idle = worker time spent spinning with no thread to run. *)
+  let idle = ref 0.0 in
+  for i = 0 to workers - 1 do
+    idle := !idle +. Runtime.worker_idle_time rt i
+  done;
+  let idle_frac = !idle /. (float_of_int workers *. !finish) in
+  (!finish, idle_frac)
+
+let run_pthreads ?(fifo = false) machine ~workers ~atoms ~steps ~analysis_interval
+    ~priority =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng machine in
+  (* Oversubscribed (sim team + analysis threads): the paper's IOMP
+     tuning disables binding and sets KMP_BLOCKTIME to 0. *)
+  let omp = Omp.create kernel ~blocktime:0.0 ~bind:false () in
+  let t_force = atoms *. force_cost_per_atom /. float_of_int workers in
+  let t_comm = comm_base +. (atoms *. comm_cost_per_atom) in
+  let n_analysis = workers - 1 in
+  let t_analysis = atoms *. analysis_cost_per_atom /. float_of_int n_analysis in
+  let shares = Hashtbl.create 1024 in
+  let finish = ref 0.0 in
+  let analysis_klts = ref [] in
+  ignore
+    (Kernel.spawn kernel ~name:"md-main" (fun master ->
+         if fifo then begin
+           (* Warm the hot team, then put the whole simulation side under
+              SCHED_FIFO — the strict prioritization of paper §4.3 that
+              real systems reserve for root. *)
+           Omp.parallel omp ~master ~nthreads:workers (fun _ _ -> ());
+           Kernel.set_policy kernel master (`Fifo 10);
+           List.iter (fun klt -> Kernel.set_policy kernel klt (`Fifo 10)) (Omp.team_klts omp)
+         end;
+         for step = 1 to steps do
+           Omp.parallel omp ~master ~nthreads:workers (fun tid klt ->
+               Kernel.compute kernel klt (force_share ~t_force ~workers shares step tid));
+           (match analysis_interval with
+           | Some k when step mod k = 0 ->
+               for _ = 1 to n_analysis do
+                 let klt =
+                   (* ~creator charges the master pthread_create cost. *)
+                   Kernel.spawn kernel ~creator:master
+                     ~nice:(if priority then 19 else 0)
+                     ~name:"analysis"
+                     (fun klt ->
+                       Kernel.compute kernel klt t_analysis;
+                       finish := Float.max !finish (Kernel.now kernel))
+                 in
+                 analysis_klts := klt :: !analysis_klts
+               done
+           | Some _ | None -> ());
+           Kernel.compute kernel master t_comm
+         done;
+         List.iter (fun klt -> Kernel.join kernel ~joiner:master klt) !analysis_klts;
+         finish := Float.max !finish (Kernel.now kernel);
+         Omp.shutdown omp));
+  Engine.run eng;
+  let util = Kernel.total_busy_time kernel /. (float_of_int workers *. !finish) in
+  (!finish, Float.max 0.0 (1.0 -. util))
+
+let run ?(machine = Machine.skylake) ?workers ~atoms ~steps ~analysis_interval config =
+  let workers = match workers with Some w -> w | None -> machine.Machine.cores in
+  let time, idle_frac =
+    match config.rk with
+    | Argobots ->
+        run_argobots machine ~workers ~atoms ~steps ~analysis_interval
+          ~priority:config.priority
+    | Pthreads ->
+        run_pthreads machine ~workers ~atoms ~steps ~analysis_interval
+          ~priority:config.priority
+  in
+  { time; idle_frac = Float.max 0.0 idle_frac }
+
+let run_pthreads_fifo ?(machine = Machine.skylake) ?workers ~atoms ~steps
+    ~analysis_interval () =
+  let workers = match workers with Some w -> w | None -> machine.Machine.cores in
+  let time, idle_frac =
+    run_pthreads ~fifo:true machine ~workers ~atoms ~steps ~analysis_interval
+      ~priority:false
+  in
+  { time; idle_frac = Float.max 0.0 idle_frac }

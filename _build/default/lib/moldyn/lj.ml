@@ -1,0 +1,276 @@
+type t = {
+  n : int;
+  box : float;
+  rc2 : float;  (* squared cutoff *)
+  x : float array;
+  y : float array;
+  z : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+  (* cell list *)
+  ncell : int;  (* cells per side *)
+  cell_size : float;
+  head : int array;  (* first atom of each cell, -1 = empty *)
+  next : int array;  (* next atom in the same cell *)
+}
+
+let atoms t = t.n
+
+let box t = t.box
+
+let wrap t v =
+  let v = Float.rem v t.box in
+  if v < 0.0 then v +. t.box else v
+
+(* Minimum-image displacement. *)
+let mi t d =
+  let half = t.box /. 2.0 in
+  if d > half then d -. t.box else if d < -.half then d +. t.box else d
+
+let cell_index t cx cy cz =
+  let m = t.ncell in
+  let w v = ((v mod m) + m) mod m in
+  (((w cz * m) + w cy) * m) + w cx
+
+let rebuild_cells t =
+  Array.fill t.head 0 (Array.length t.head) (-1);
+  for i = 0 to t.n - 1 do
+    let cx = int_of_float (t.x.(i) /. t.cell_size) in
+    let cy = int_of_float (t.y.(i) /. t.cell_size) in
+    let cz = int_of_float (t.z.(i) /. t.cell_size) in
+    let c = cell_index t cx cy cz in
+    t.next.(i) <- t.head.(c);
+    t.head.(c) <- i
+  done
+
+(* LJ pair force (reduced units): f(r)/r = 24 (2 r^-14 - r^-8). *)
+let compute_forces t =
+  Array.fill t.fx 0 t.n 0.0;
+  Array.fill t.fy 0 t.n 0.0;
+  Array.fill t.fz 0 t.n 0.0;
+  rebuild_cells t;
+  let m = t.ncell in
+  for cz = 0 to m - 1 do
+    for cy = 0 to m - 1 do
+      for cx = 0 to m - 1 do
+        let c = cell_index t cx cy cz in
+        let rec each_i i =
+          if i >= 0 then begin
+            (* neighbours: half the 27-cell stencil plus in-cell pairs *)
+            for dz = -1 to 1 do
+              for dy = -1 to 1 do
+                for dx = -1 to 1 do
+                  let c' = cell_index t (cx + dx) (cy + dy) (cz + dz) in
+                  if c' >= c then begin
+                    let rec each_j j =
+                      if j >= 0 then begin
+                        if (c' > c || j > i) && i <> j then begin
+                          let ddx = mi t (t.x.(i) -. t.x.(j)) in
+                          let ddy = mi t (t.y.(i) -. t.y.(j)) in
+                          let ddz = mi t (t.z.(i) -. t.z.(j)) in
+                          let r2 = (ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz) in
+                          if r2 < t.rc2 && r2 > 1e-12 then begin
+                            let inv2 = 1.0 /. r2 in
+                            let inv6 = inv2 *. inv2 *. inv2 in
+                            let ff = 24.0 *. inv2 *. inv6 *. ((2.0 *. inv6) -. 1.0) in
+                            t.fx.(i) <- t.fx.(i) +. (ff *. ddx);
+                            t.fy.(i) <- t.fy.(i) +. (ff *. ddy);
+                            t.fz.(i) <- t.fz.(i) +. (ff *. ddz);
+                            t.fx.(j) <- t.fx.(j) -. (ff *. ddx);
+                            t.fy.(j) <- t.fy.(j) -. (ff *. ddy);
+                            t.fz.(j) <- t.fz.(j) -. (ff *. ddz)
+                          end
+                        end;
+                        each_j t.next.(j)
+                      end
+                    in
+                    each_j t.head.(c')
+                  end
+                done
+              done
+            done;
+            each_i t.next.(i)
+          end
+        in
+        each_i t.head.(c)
+      done
+    done
+  done
+
+let create rng ~cells_per_side ?(density = 0.8) ?(temperature = 1.0) () =
+  let nc = cells_per_side in
+  let n = 4 * nc * nc * nc in
+  let box = (float_of_int n /. density) ** (1.0 /. 3.0) in
+  let rc = 2.5 in
+  let ncell = Stdlib.max 3 (int_of_float (box /. rc)) in
+  let t =
+    {
+      n;
+      box;
+      rc2 = rc *. rc;
+      x = Array.make n 0.0;
+      y = Array.make n 0.0;
+      z = Array.make n 0.0;
+      vx = Array.make n 0.0;
+      vy = Array.make n 0.0;
+      vz = Array.make n 0.0;
+      fx = Array.make n 0.0;
+      fy = Array.make n 0.0;
+      fz = Array.make n 0.0;
+      ncell;
+      cell_size = box /. float_of_int ncell;
+      head = Array.make (ncell * ncell * ncell) (-1);
+      next = Array.make n (-1);
+    }
+  in
+  (* FCC lattice. *)
+  let a = box /. float_of_int nc in
+  let offsets = [| (0.0, 0.0, 0.0); (0.5, 0.5, 0.0); (0.5, 0.0, 0.5); (0.0, 0.5, 0.5) |] in
+  let idx = ref 0 in
+  for ix = 0 to nc - 1 do
+    for iy = 0 to nc - 1 do
+      for iz = 0 to nc - 1 do
+        Array.iter
+          (fun (ox, oy, oz) ->
+            t.x.(!idx) <- (float_of_int ix +. ox) *. a;
+            t.y.(!idx) <- (float_of_int iy +. oy) *. a;
+            t.z.(!idx) <- (float_of_int iz +. oz) *. a;
+            incr idx)
+          offsets
+      done
+    done
+  done;
+  (* Maxwell-ish velocities with zero net momentum. *)
+  let scale = sqrt temperature in
+  let sum = [| 0.0; 0.0; 0.0 |] in
+  for i = 0 to n - 1 do
+    t.vx.(i) <- scale *. Desim.Rng.range rng (-1.0) 1.0;
+    t.vy.(i) <- scale *. Desim.Rng.range rng (-1.0) 1.0;
+    t.vz.(i) <- scale *. Desim.Rng.range rng (-1.0) 1.0;
+    sum.(0) <- sum.(0) +. t.vx.(i);
+    sum.(1) <- sum.(1) +. t.vy.(i);
+    sum.(2) <- sum.(2) +. t.vz.(i)
+  done;
+  let fn = float_of_int n in
+  for i = 0 to n - 1 do
+    t.vx.(i) <- t.vx.(i) -. (sum.(0) /. fn);
+    t.vy.(i) <- t.vy.(i) -. (sum.(1) /. fn);
+    t.vz.(i) <- t.vz.(i) -. (sum.(2) /. fn)
+  done;
+  compute_forces t;
+  t
+
+let step t ~dt =
+  let half = dt /. 2.0 in
+  for i = 0 to t.n - 1 do
+    t.vx.(i) <- t.vx.(i) +. (half *. t.fx.(i));
+    t.vy.(i) <- t.vy.(i) +. (half *. t.fy.(i));
+    t.vz.(i) <- t.vz.(i) +. (half *. t.fz.(i));
+    t.x.(i) <- wrap t (t.x.(i) +. (dt *. t.vx.(i)));
+    t.y.(i) <- wrap t (t.y.(i) +. (dt *. t.vy.(i)));
+    t.z.(i) <- wrap t (t.z.(i) +. (dt *. t.vz.(i)))
+  done;
+  compute_forces t;
+  for i = 0 to t.n - 1 do
+    t.vx.(i) <- t.vx.(i) +. (half *. t.fx.(i));
+    t.vy.(i) <- t.vy.(i) +. (half *. t.fy.(i));
+    t.vz.(i) <- t.vz.(i) +. (half *. t.fz.(i))
+  done
+
+let potential_energy t =
+  let e = ref 0.0 in
+  rebuild_cells t;
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      let ddx = mi t (t.x.(i) -. t.x.(j)) in
+      let ddy = mi t (t.y.(i) -. t.y.(j)) in
+      let ddz = mi t (t.z.(i) -. t.z.(j)) in
+      let r2 = (ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz) in
+      if r2 < t.rc2 then begin
+        let inv6 = 1.0 /. (r2 *. r2 *. r2) in
+        e := !e +. (4.0 *. ((inv6 *. inv6) -. inv6))
+      end
+    done
+  done;
+  !e
+
+let kinetic_energy t =
+  let e = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    e :=
+      !e
+      +. (0.5 *. ((t.vx.(i) *. t.vx.(i)) +. (t.vy.(i) *. t.vy.(i)) +. (t.vz.(i) *. t.vz.(i))))
+  done;
+  !e
+
+let total_energy t = potential_energy t +. kinetic_energy t
+
+let momentum t =
+  let px = ref 0.0 and py = ref 0.0 and pz = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    px := !px +. t.vx.(i);
+    py := !py +. t.vy.(i);
+    pz := !pz +. t.vz.(i)
+  done;
+  sqrt ((!px *. !px) +. (!py *. !py) +. (!pz *. !pz))
+
+let temperature t = 2.0 *. kinetic_energy t /. (3.0 *. float_of_int t.n)
+
+let snapshot t = (Array.copy t.x, Array.copy t.y, Array.copy t.z)
+
+let rdf t ~bins ~r_max (x, y, z) =
+  if bins <= 0 || r_max <= 0.0 then invalid_arg "Lj.rdf: bad parameters";
+  let n = Array.length x in
+  let counts = Array.make bins 0 in
+  let dr = r_max /. float_of_int bins in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dx = mi t (x.(i) -. x.(j)) in
+      let dy = mi t (y.(i) -. y.(j)) in
+      let dz = mi t (z.(i) -. z.(j)) in
+      let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+      if r < r_max then begin
+        let b = int_of_float (r /. dr) in
+        if b >= 0 && b < bins then counts.(b) <- counts.(b) + 2
+      end
+    done
+  done;
+  (* Normalize by the ideal-gas expectation for each shell. *)
+  let volume = t.box *. t.box *. t.box in
+  let density = float_of_int n /. volume in
+  let pi = 4.0 *. atan 1.0 in
+  Array.mapi
+    (fun b c ->
+      let r_lo = float_of_int b *. dr in
+      let r_hi = r_lo +. dr in
+      let shell = 4.0 /. 3.0 *. pi *. ((r_hi ** 3.0) -. (r_lo ** 3.0)) in
+      let ideal = density *. shell *. float_of_int n in
+      if ideal > 0.0 then float_of_int c /. ideal else 0.0)
+    counts
+
+let speed_histogram t ~bins ~v_max =
+  if bins <= 0 || v_max <= 0.0 then invalid_arg "Lj.speed_histogram: bad parameters";
+  let h = Array.make bins 0 in
+  for i = 0 to t.n - 1 do
+    let v =
+      sqrt ((t.vx.(i) *. t.vx.(i)) +. (t.vy.(i) *. t.vy.(i)) +. (t.vz.(i) *. t.vz.(i)))
+    in
+    let b = int_of_float (v /. v_max *. float_of_int bins) in
+    let b = if b >= bins then bins - 1 else b in
+    h.(b) <- h.(b) + 1
+  done;
+  h
+
+let max_force t =
+  let m = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let f =
+      sqrt ((t.fx.(i) *. t.fx.(i)) +. (t.fy.(i) *. t.fy.(i)) +. (t.fz.(i) *. t.fz.(i)))
+    in
+    if f > !m then m := f
+  done;
+  !m

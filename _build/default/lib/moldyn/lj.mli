@@ -1,0 +1,49 @@
+(** Real 3D Lennard-Jones molecular dynamics (the LAMMPS substitution's
+    numerical core): periodic box, cell lists, r_c = 2.5 sigma cutoff,
+    velocity-Verlet integration, reduced units. *)
+
+type t
+
+(** [create rng ~cells_per_side ~density ~temperature] builds an FCC-ish
+    lattice of [4 * cells_per_side^3] atoms with random velocities
+    (zero net momentum). *)
+val create :
+  Desim.Rng.t -> cells_per_side:int -> ?density:float -> ?temperature:float -> unit -> t
+
+val atoms : t -> int
+
+val box : t -> float
+
+(** One velocity-Verlet step of size [dt]. *)
+val step : t -> dt:float -> unit
+
+val potential_energy : t -> float
+
+val kinetic_energy : t -> float
+
+val total_energy : t -> float
+
+(** Net momentum magnitude (conserved by correct forces). *)
+val momentum : t -> float
+
+(** Instantaneous temperature (2 KE / 3N). *)
+val temperature : t -> float
+
+(** Maximum force magnitude (finiteness check). *)
+val max_force : t -> float
+
+(** {1 In-situ analysis kernels (real, used on snapshots)} *)
+
+(** [snapshot t] copies the positions (the paper's analysis works on a
+    copied buffer while the simulation continues). *)
+val snapshot : t -> float array * float array * float array
+
+(** [rdf t ~bins ~r_max (x,y,z)] — radial distribution function g(r) of
+    a position snapshot: histogram of pair distances normalized by the
+    ideal-gas shell density.  O(N^2); the expensive analysis the paper's
+    in-situ threads run. *)
+val rdf : t -> bins:int -> r_max:float -> float array * float array * float array -> float array
+
+(** Speed histogram of the current velocities ([bins] buckets up to
+    [v_max]); sums to the atom count. *)
+val speed_histogram : t -> bins:int -> v_max:float -> int array

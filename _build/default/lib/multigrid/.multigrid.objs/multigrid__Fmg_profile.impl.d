@@ -1,0 +1,1 @@
+lib/multigrid/fmg_profile.ml: List

@@ -1,0 +1,1 @@
+lib/multigrid/grid.mli:

@@ -1,0 +1,1 @@
+lib/multigrid/packing_run.ml: Config Cpuset Desim Engine Float Fmg_profile Kernel List Machine Ompmodel Oskern Preempt_core Printf Runtime Sched_packing Stdlib Types Ult Usync

@@ -1,0 +1,1 @@
+lib/multigrid/packing_run.mli: Fmg_profile Oskern Preempt_core

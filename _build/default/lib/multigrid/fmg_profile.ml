@@ -1,0 +1,45 @@
+type phase = { level : int; work : float }
+
+(* Work of one parallel phase at [level], in arbitrary units: cell count
+   of a 3D grid halves per dimension per level. *)
+let unit_work level = 1.0 /. (8.0 ** float_of_int level)
+
+(* One V-cycle from [l] down: smooth, residual+restrict on the way down,
+   prolongate+smooth on the way up — each a barrier-separated phase. *)
+let v_cycle ~levels l =
+  let down =
+    List.concat_map
+      (fun m ->
+        [
+          { level = m; work = unit_work m } (* pre-smooth sweep 1 *);
+          { level = m; work = unit_work m } (* pre-smooth sweep 2 *);
+          { level = m; work = unit_work m *. 0.5 } (* residual + restrict *);
+        ])
+      (List.init (levels - 1 - l) (fun i -> l + i))
+  in
+  let bottom = [ { level = levels - 1; work = unit_work (levels - 1) } ] in
+  let up =
+    List.concat_map
+      (fun m ->
+        [
+          { level = m; work = unit_work m *. 0.25 } (* prolongate *);
+          { level = m; work = unit_work m } (* post-smooth *);
+        ])
+      (List.rev (List.init (levels - 1 - l) (fun i -> l + i)))
+  in
+  down @ bottom @ up
+
+let phases ~levels ~total_core_seconds =
+  if levels < 2 then invalid_arg "Fmg_profile.phases: levels < 2";
+  let raw =
+    List.concat_map
+      (fun l -> ({ level = l; work = unit_work l *. 0.25 } :: v_cycle ~levels l) @ v_cycle ~levels l)
+      (List.rev (List.init (levels - 1) (fun i -> i)))
+  in
+  let raw_total = List.fold_left (fun acc p -> acc +. p.work) 0.0 raw in
+  let scale = total_core_seconds /. raw_total in
+  List.map (fun p -> { p with work = p.work *. scale }) raw
+
+let total_work ps = List.fold_left (fun acc p -> acc +. p.work) 0.0 ps
+
+let count = List.length

@@ -1,0 +1,22 @@
+(** Parallel-phase profile of an HPGMG-FV-style full-multigrid solve.
+
+    The thread-packing experiment (paper Fig. 8) depends on the
+    {e structure} of the solver — a long sequence of barrier-separated
+    parallel phases whose sizes span orders of magnitude across levels —
+    not on stencil arithmetic.  This module derives that sequence from
+    the same FMG recursion as {!Grid.fmg} and scales it to a target
+    total CPU time. *)
+
+type phase = {
+  level : int;  (** multigrid level, 0 = finest *)
+  work : float;  (** total core-seconds in this phase *)
+}
+
+(** [phases ~levels ~total_core_seconds] — FMG phase list: for each FMG
+    stage, prolongation plus two V-cycles, with per-level work scaling
+    as [8^-level] (3D boxes). *)
+val phases : levels:int -> total_core_seconds:float -> phase list
+
+val total_work : phase list -> float
+
+val count : phase list -> int

@@ -1,0 +1,138 @@
+type level = { n : int; h : float; u : float array; f : float array; r : float array }
+
+let make_level n =
+  if n < 1 then invalid_arg "Grid.make_level: n < 1";
+  {
+    n;
+    h = 1.0 /. float_of_int (n + 1);
+    u = Array.make (n + 2) 0.0;
+    f = Array.make (n + 2) 0.0;
+    r = Array.make (n + 2) 0.0;
+  }
+
+(* Weighted Jacobi: u_i <- (1-w) u_i + w (u_{i-1} + u_{i+1} + h^2 f_i)/2. *)
+let smooth lvl ~sweeps =
+  let w = 2.0 /. 3.0 in
+  let h2 = lvl.h *. lvl.h in
+  let tmp = Array.make (lvl.n + 2) 0.0 in
+  for _ = 1 to sweeps do
+    for i = 1 to lvl.n do
+      tmp.(i) <-
+        ((1.0 -. w) *. lvl.u.(i))
+        +. (w *. 0.5 *. (lvl.u.(i - 1) +. lvl.u.(i + 1) +. (h2 *. lvl.f.(i))))
+    done;
+    Array.blit tmp 1 lvl.u 1 lvl.n
+  done
+
+let residual lvl =
+  let h2 = lvl.h *. lvl.h in
+  let norm = ref 0.0 in
+  for i = 1 to lvl.n do
+    (* r = f + u'' = f + (u_{i-1} - 2 u_i + u_{i+1}) / h^2 *)
+    lvl.r.(i) <- lvl.f.(i) +. ((lvl.u.(i - 1) -. (2.0 *. lvl.u.(i)) +. lvl.u.(i + 1)) /. h2);
+    let a = Float.abs lvl.r.(i) in
+    if a > !norm then norm := a
+  done;
+  !norm
+
+let restrict ~fine ~coarse =
+  assert (coarse.n = (fine.n - 1) / 2);
+  for i = 1 to coarse.n do
+    let fi = 2 * i in
+    coarse.f.(i) <- 0.25 *. (fine.r.(fi - 1) +. (2.0 *. fine.r.(fi)) +. fine.r.(fi + 1));
+    coarse.u.(i) <- 0.0
+  done
+
+let prolongate ~coarse ~fine =
+  for i = 1 to coarse.n do
+    let fi = 2 * i in
+    fine.u.(fi) <- fine.u.(fi) +. coarse.u.(i)
+  done;
+  for i = 0 to coarse.n do
+    let fi = (2 * i) + 1 in
+    fine.u.(fi) <- fine.u.(fi) +. (0.5 *. (coarse.u.(i) +. coarse.u.(i + 1)))
+  done
+
+let solve_direct lvl =
+  (* Thomas algorithm for -u'' = f: tridiagonal (-1, 2, -1)/h^2. *)
+  let n = lvl.n in
+  let h2 = lvl.h *. lvl.h in
+  let c' = Array.make (n + 1) 0.0 in
+  let d' = Array.make (n + 1) 0.0 in
+  let a = -1.0 and b = 2.0 and c = -1.0 in
+  c'.(1) <- c /. b;
+  d'.(1) <- h2 *. lvl.f.(1) /. b;
+  for i = 2 to n do
+    let m = b -. (a *. c'.(i - 1)) in
+    c'.(i) <- c /. m;
+    d'.(i) <- ((h2 *. lvl.f.(i)) -. (a *. d'.(i - 1))) /. m
+  done;
+  lvl.u.(n) <- d'.(n);
+  for i = n - 1 downto 1 do
+    lvl.u.(i) <- d'.(i) -. (c'.(i) *. lvl.u.(i + 1))
+  done
+
+type hierarchy = { levels : level array (* 0 = finest *) }
+
+let make_hierarchy ~levels ~n_finest =
+  if levels < 1 then invalid_arg "Grid.make_hierarchy: levels < 1";
+  let lv =
+    Array.init levels (fun l ->
+        let n = ref n_finest in
+        for _ = 1 to l do
+          n := (!n - 1) / 2
+        done;
+        if !n < 1 then invalid_arg "Grid.make_hierarchy: too many levels";
+        make_level !n)
+  in
+  { levels = lv }
+
+let finest h = h.levels.(0)
+
+let rec v_cycle_at h l ~sweeps =
+  let lvl = h.levels.(l) in
+  if l = Array.length h.levels - 1 then solve_direct lvl
+  else begin
+    smooth lvl ~sweeps;
+    ignore (residual lvl);
+    restrict ~fine:lvl ~coarse:h.levels.(l + 1);
+    v_cycle_at h (l + 1) ~sweeps;
+    prolongate ~coarse:h.levels.(l + 1) ~fine:lvl;
+    smooth lvl ~sweeps
+  end
+
+let v_cycle h ?(from_level = 0) ~sweeps () = v_cycle_at h from_level ~sweeps
+
+let fmg h ~sweeps =
+  let nl = Array.length h.levels in
+  (* Restrict the rhs down by injection so every level has a problem. *)
+  for l = 0 to nl - 2 do
+    let fine = h.levels.(l) and coarse = h.levels.(l + 1) in
+    for i = 1 to coarse.n do
+      coarse.f.(i) <- fine.f.(2 * i)
+    done
+  done;
+  solve_direct h.levels.(nl - 1);
+  for l = nl - 2 downto 0 do
+    let fine = h.levels.(l) in
+    Array.fill fine.u 0 (fine.n + 2) 0.0;
+    prolongate ~coarse:h.levels.(l + 1) ~fine;
+    v_cycle_at h l ~sweeps;
+    v_cycle_at h l ~sweeps
+  done;
+  residual (finest h)
+
+let set_problem h frhs u_exact =
+  let fine = finest h in
+  for i = 1 to fine.n do
+    let x = float_of_int i *. fine.h in
+    fine.f.(i) <- frhs x
+  done;
+  fun () ->
+    let err = ref 0.0 in
+    for i = 1 to fine.n do
+      let x = float_of_int i *. fine.h in
+      let e = Float.abs (fine.u.(i) -. u_exact x) in
+      if e > !err then err := e
+    done;
+    !err

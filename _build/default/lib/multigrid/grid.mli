@@ -1,0 +1,51 @@
+(** Real 1D geometric multigrid for the Poisson problem [-u'' = f] on
+    [0,1] with homogeneous Dirichlet boundaries.
+
+    This is the numerical core behind the HPGMG-FV substitution: a
+    genuinely convergent full-multigrid solver whose level structure
+    drives the thread-packing experiment's phase profile. *)
+
+type level = {
+  n : int;  (** interior points *)
+  h : float;
+  u : float array;  (** solution, with boundary ghosts at 0 and n+1 *)
+  f : float array;  (** right-hand side *)
+  r : float array;  (** residual scratch *)
+}
+
+val make_level : int -> level
+
+(** [smooth lvl ~sweeps] runs weighted-Jacobi sweeps (w = 2/3). *)
+val smooth : level -> sweeps:int -> unit
+
+(** Residual [f + u''] into [lvl.r]; returns its max-norm. *)
+val residual : level -> float
+
+(** Full-weighting restriction of [fine.r] into [coarse.f]; zeroes
+    [coarse.u]. *)
+val restrict : fine:level -> coarse:level -> unit
+
+(** Linear prolongation of [coarse.u] added into [fine.u]. *)
+val prolongate : coarse:level -> fine:level -> unit
+
+(** [solve_direct lvl] solves the coarsest level exactly (Thomas
+    algorithm). *)
+val solve_direct : level -> unit
+
+type hierarchy
+
+(** [make_hierarchy ~levels ~n_finest] builds levels n, n/2, ... *)
+val make_hierarchy : levels:int -> n_finest:int -> hierarchy
+
+val finest : hierarchy -> level
+
+(** One V-cycle starting at level [l] (0 = finest). *)
+val v_cycle : hierarchy -> ?from_level:int -> sweeps:int -> unit -> unit
+
+(** Full multigrid: solve coarse first, prolong up, V-cycle at each
+    level.  Returns the final residual max-norm on the finest level. *)
+val fmg : hierarchy -> sweeps:int -> float
+
+(** [set_problem h f u_exact] installs rhs [f(x)]; returns a function
+    giving the max-norm error against [u_exact] on the finest level. *)
+val set_problem : hierarchy -> (float -> float) -> (float -> float) -> unit -> float

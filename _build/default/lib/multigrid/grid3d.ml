@@ -1,0 +1,206 @@
+type level = {
+  n : int;  (* interior points per dimension *)
+  h : float;
+  stride : int;  (* n + 2 with ghosts *)
+  u : float array;
+  f : float array;
+  r : float array;
+  tmp : float array;
+}
+
+let idx lvl i j k = ((i * lvl.stride) + j) * lvl.stride + k
+
+let make_level n =
+  if n < 1 then invalid_arg "Grid3d.make_level: n < 1";
+  let stride = n + 2 in
+  let sz = stride * stride * stride in
+  {
+    n;
+    h = 1.0 /. float_of_int (n + 1);
+    stride;
+    u = Array.make sz 0.0;
+    f = Array.make sz 0.0;
+    r = Array.make sz 0.0;
+    tmp = Array.make sz 0.0;
+  }
+
+let level_n lvl = lvl.n
+
+let get_u lvl i j k = lvl.u.(idx lvl i j k)
+
+let set_f lvl i j k v = lvl.f.(idx lvl i j k) <- v
+
+(* Weighted Jacobi on the 7-point stencil:
+   u <- (1-w) u + w (sum_neighbours + h^2 f) / 6. *)
+let smooth lvl ~sweeps =
+  let w = 6.0 /. 7.0 in
+  let h2 = lvl.h *. lvl.h in
+  for _ = 1 to sweeps do
+    for i = 1 to lvl.n do
+      for j = 1 to lvl.n do
+        for k = 1 to lvl.n do
+          let c = idx lvl i j k in
+          let s =
+            lvl.u.(idx lvl (i - 1) j k)
+            +. lvl.u.(idx lvl (i + 1) j k)
+            +. lvl.u.(idx lvl i (j - 1) k)
+            +. lvl.u.(idx lvl i (j + 1) k)
+            +. lvl.u.(idx lvl i j (k - 1))
+            +. lvl.u.(idx lvl i j (k + 1))
+          in
+          lvl.tmp.(c) <- ((1.0 -. w) *. lvl.u.(c)) +. (w *. (s +. (h2 *. lvl.f.(c))) /. 6.0)
+        done
+      done
+    done;
+    Array.blit lvl.tmp 0 lvl.u 0 (Array.length lvl.u)
+  done
+
+let residual lvl =
+  let h2 = lvl.h *. lvl.h in
+  let norm = ref 0.0 in
+  for i = 1 to lvl.n do
+    for j = 1 to lvl.n do
+      for k = 1 to lvl.n do
+        let c = idx lvl i j k in
+        let lap =
+          lvl.u.(idx lvl (i - 1) j k)
+          +. lvl.u.(idx lvl (i + 1) j k)
+          +. lvl.u.(idx lvl i (j - 1) k)
+          +. lvl.u.(idx lvl i (j + 1) k)
+          +. lvl.u.(idx lvl i j (k - 1))
+          +. lvl.u.(idx lvl i j (k + 1))
+          -. (6.0 *. lvl.u.(c))
+        in
+        lvl.r.(c) <- lvl.f.(c) +. (lap /. h2);
+        let a = Float.abs lvl.r.(c) in
+        if a > !norm then norm := a
+      done
+    done
+  done;
+  !norm
+
+(* Full-weighting restriction of fine.r into coarse.f (27-point):
+   weights 1/8 centre, 1/16 faces, 1/32 edges, 1/64 corners. *)
+let restrict ~fine ~coarse =
+  for i = 1 to coarse.n do
+    for j = 1 to coarse.n do
+      for k = 1 to coarse.n do
+        let fi = 2 * i and fj = 2 * j and fk = 2 * k in
+        let acc = ref 0.0 in
+        for di = -1 to 1 do
+          for dj = -1 to 1 do
+            for dk = -1 to 1 do
+              let w =
+                1.0 /. float_of_int (8 * (1 lsl (abs di + abs dj + abs dk)))
+              in
+              acc := !acc +. (w *. fine.r.(idx fine (fi + di) (fj + dj) (fk + dk)))
+            done
+          done
+        done;
+        coarse.f.(idx coarse i j k) <- !acc;
+        coarse.u.(idx coarse i j k) <- 0.0
+      done
+    done
+  done
+
+(* Trilinear prolongation of coarse.u added into fine.u. *)
+let prolongate ~coarse ~fine =
+  for i = 1 to fine.n do
+    for j = 1 to fine.n do
+      for k = 1 to fine.n do
+        (* Fine point (i,j,k) sits between coarse nodes (i/2..i/2+1, ...):
+           even fine indices coincide with a coarse node (frac 0), odd
+           ones sit halfway (frac 0.5). *)
+        let ci = i / 2 and cj = j / 2 and ck = k / 2 in
+        let fi = if i land 1 = 0 then 0.0 else 0.5 in
+        let fj = if j land 1 = 0 then 0.0 else 0.5 in
+        let fk = if k land 1 = 0 then 0.0 else 0.5 in
+        let cu di dj dk = coarse.u.(idx coarse (ci + di) (cj + dj) (ck + dk)) in
+        let v =
+          ((1.0 -. fi) *. (1.0 -. fj) *. (1.0 -. fk) *. cu 0 0 0)
+          +. (fi *. (1.0 -. fj) *. (1.0 -. fk) *. cu 1 0 0)
+          +. ((1.0 -. fi) *. fj *. (1.0 -. fk) *. cu 0 1 0)
+          +. ((1.0 -. fi) *. (1.0 -. fj) *. fk *. cu 0 0 1)
+          +. (fi *. fj *. (1.0 -. fk) *. cu 1 1 0)
+          +. (fi *. (1.0 -. fj) *. fk *. cu 1 0 1)
+          +. ((1.0 -. fi) *. fj *. fk *. cu 0 1 1)
+          +. (fi *. fj *. fk *. cu 1 1 1)
+        in
+        fine.u.(idx fine i j k) <- fine.u.(idx fine i j k) +. v
+      done
+    done
+  done
+
+type hierarchy = { levels : level array }
+
+let make ~levels ~n_finest =
+  if levels < 1 then invalid_arg "Grid3d.make: levels < 1";
+  let lv =
+    Array.init levels (fun l ->
+        let n = ref n_finest in
+        for _ = 1 to l do
+          if (!n - 1) mod 2 <> 0 then invalid_arg "Grid3d.make: n_finest must be 2^k - 1";
+          n := (!n - 1) / 2
+        done;
+        if !n < 1 then invalid_arg "Grid3d.make: too many levels";
+        make_level !n)
+  in
+  { levels = lv }
+
+let finest h = h.levels.(0)
+
+let rec v_cycle_at h l ~sweeps =
+  let lvl = h.levels.(l) in
+  if l = Array.length h.levels - 1 then
+    (* Coarsest: smooth hard instead of a direct solve; the grid is tiny. *)
+    smooth lvl ~sweeps:50
+  else begin
+    smooth lvl ~sweeps;
+    ignore (residual lvl);
+    restrict ~fine:lvl ~coarse:h.levels.(l + 1);
+    v_cycle_at h (l + 1) ~sweeps;
+    prolongate ~coarse:h.levels.(l + 1) ~fine:lvl;
+    smooth lvl ~sweeps
+  end
+
+let v_cycle h ~sweeps = v_cycle_at h 0 ~sweeps
+
+let solve h ~sweeps ~tol ~max_cycles =
+  let rec go cycles =
+    let r = residual (finest h) in
+    if r <= tol || cycles >= max_cycles then (cycles, r)
+    else begin
+      v_cycle h ~sweeps;
+      go (cycles + 1)
+    end
+  in
+  go 0
+
+let set_problem h f =
+  let lvl = finest h in
+  for i = 1 to lvl.n do
+    for j = 1 to lvl.n do
+      for k = 1 to lvl.n do
+        let x = float_of_int i *. lvl.h
+        and y = float_of_int j *. lvl.h
+        and z = float_of_int k *. lvl.h in
+        lvl.f.(idx lvl i j k) <- f x y z
+      done
+    done
+  done
+
+let error_vs h u_exact =
+  let lvl = finest h in
+  let err = ref 0.0 in
+  for i = 1 to lvl.n do
+    for j = 1 to lvl.n do
+      for k = 1 to lvl.n do
+        let x = float_of_int i *. lvl.h
+        and y = float_of_int j *. lvl.h
+        and z = float_of_int k *. lvl.h in
+        let e = Float.abs (lvl.u.(idx lvl i j k) -. u_exact x y z) in
+        if e > !err then err := e
+      done
+    done
+  done;
+  !err

@@ -1,0 +1,44 @@
+(** Real 3D geometric multigrid for the Poisson problem
+    [-laplacian u = f] on the unit cube with homogeneous Dirichlet
+    boundaries — the dimensionality HPGMG-FV actually runs.
+
+    Levels store [n^3] interior points plus a ghost layer.  The smoother
+    is weighted Jacobi (7-point stencil), restriction is full weighting
+    over the 27-point neighbourhood, prolongation is trilinear. *)
+
+type level
+
+(** [make_level n] — [n] interior points per dimension. *)
+val make_level : int -> level
+
+val level_n : level -> int
+
+val get_u : level -> int -> int -> int -> float
+
+val set_f : level -> int -> int -> int -> float -> unit
+
+val smooth : level -> sweeps:int -> unit
+
+(** Residual into the level's scratch array; returns its max-norm. *)
+val residual : level -> float
+
+type hierarchy
+
+(** [make ~levels ~n_finest] — [n_finest] must be of the form
+    [2^k - 1] so that coarsening by [n -> (n-1)/2] stays odd. *)
+val make : levels:int -> n_finest:int -> hierarchy
+
+val finest : hierarchy -> level
+
+(** One V-cycle from the finest level ([sweeps] pre- and post-smooths). *)
+val v_cycle : hierarchy -> sweeps:int -> unit
+
+(** [solve h ~sweeps ~tol ~max_cycles] — V-cycles until the residual
+    max-norm drops below [tol]; returns (cycles, final residual). *)
+val solve : hierarchy -> sweeps:int -> tol:float -> max_cycles:int -> int * float
+
+(** [set_problem h f] fills the finest rhs with [f x y z]. *)
+val set_problem : hierarchy -> (float -> float -> float -> float) -> unit
+
+(** Max-norm error of the finest solution against [u x y z]. *)
+val error_vs : hierarchy -> (float -> float -> float -> float) -> float

@@ -1,0 +1,101 @@
+open Desim
+open Oskern
+open Preempt_core
+module Omp = Ompmodel.Omp
+
+type config =
+  | Bolt_packing of {
+      kind : Types.thread_kind;
+      timer : Config.timer_strategy;
+      interval : float;
+    }
+  | Iomp_taskset
+
+type result = { time : float; preemptions : int }
+
+let config_name = function
+  | Bolt_packing { kind = Types.Nonpreemptive; _ } -> "BOLT (nonpreemptive)"
+  | Bolt_packing { interval; _ } ->
+      Printf.sprintf "BOLT (preemptive; %g ms)" (interval *. 1e3)
+  | Iomp_taskset -> "IOMP"
+
+(* Worker thread body: equal share of each phase, then a barrier. *)
+let bolt_thread rt barrier phases share () =
+  List.iter
+    (fun (p : Fmg_profile.phase) ->
+      Ult.compute (p.Fmg_profile.work /. share);
+      Usync.Barrier.wait barrier)
+    phases;
+  ignore rt
+
+let run ?(machine = Machine.skylake) ~n_threads ~n_active ~phases config =
+  match config with
+  | Bolt_packing { kind; timer; interval } ->
+      let machine = Machine.with_cores machine n_threads in
+      let eng = Engine.create () in
+      let kernel = Kernel.create eng machine in
+      let cfg =
+        {
+          Config.default with
+          Config.timer_strategy = timer;
+          interval;
+          idle_poll = 50e-6;
+        }
+      in
+      let rt =
+        Runtime.create ~config:cfg ~scheduler:(Sched_packing.make ()) kernel
+          ~n_workers:n_threads
+      in
+      let barrier = Usync.Barrier.create rt n_threads in
+      let finish = ref 0.0 in
+      for i = 0 to n_threads - 1 do
+        ignore
+          (Runtime.spawn rt ~kind ~home:i ~name:(Printf.sprintf "mg%d" i) (fun () ->
+               bolt_thread rt barrier phases (float_of_int n_threads) ();
+               finish := Float.max !finish (Ult.now ())))
+      done;
+      Runtime.start rt;
+      (* Pack immediately: reduce active workers before the solve. *)
+      ignore (Engine.after eng 0.0 (fun () -> Runtime.set_active_workers rt n_active));
+      Engine.run eng;
+      { time = !finish; preemptions = Runtime.preempt_signals rt }
+  | Iomp_taskset ->
+      let machine = Machine.with_cores machine n_threads in
+      let eng = Engine.create () in
+      let kernel = Kernel.create eng machine in
+      let omp = Omp.create kernel ~blocktime:0.0 ~bind:false () in
+      let mask = Cpuset.range n_threads 0 (n_active - 1) in
+      let finish = ref 0.0 in
+      ignore
+        (Kernel.spawn kernel ~affinity:mask ~name:"main" (fun master ->
+             (* Warm the hot team, then taskset everyone. *)
+             Omp.parallel omp ~master ~nthreads:n_threads (fun _ _ -> ());
+             Omp.set_affinity_all omp mask;
+             let t0 = Kernel.now kernel in
+             List.iter
+               (fun (p : Fmg_profile.phase) ->
+                 Omp.parallel omp ~master ~nthreads:n_threads (fun _tid klt ->
+                     Kernel.compute kernel klt
+                       (p.Fmg_profile.work /. float_of_int n_threads)))
+               phases;
+             finish := Kernel.now kernel -. t0;
+             Omp.shutdown omp));
+      Engine.run eng;
+      { time = !finish; preemptions = 0 }
+
+let baseline ?(machine = Machine.skylake) ~n ~phases () =
+  let machine = Machine.with_cores machine (Stdlib.max 1 n) in
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng machine in
+  let rt = Runtime.create kernel ~n_workers:n in
+  let barrier = Usync.Barrier.create rt n in
+  let finish = ref 0.0 in
+  for i = 0 to n - 1 do
+    ignore
+      (Runtime.spawn rt ~home:i ~name:(Printf.sprintf "base%d" i) (fun () ->
+           bolt_thread rt barrier phases (float_of_int n) ();
+           finish := Float.max !finish (Ult.now ())))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  !finish

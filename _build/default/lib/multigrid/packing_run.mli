@@ -1,0 +1,34 @@
+(** Thread-packing runs of the HPGMG-style phase profile (paper Fig. 8).
+
+    [n_threads] threads (= the initial core count) execute every phase
+    in equal shares, separated by barriers, while only [n_active] cores
+    may run them.  The BOLT variants suspend workers and reschedule
+    their threads through the packing scheduler (Algorithm 1); the IOMP
+    variant restricts 1:1 threads with a [taskset]-style affinity mask
+    and leaves scheduling to the simulated CFS. *)
+
+type config =
+  | Bolt_packing of {
+      kind : Preempt_core.Types.thread_kind;
+      timer : Preempt_core.Config.timer_strategy;
+      interval : float;
+    }
+  | Iomp_taskset
+
+type result = { time : float; preemptions : int }
+
+val config_name : config -> string
+
+(** [run ~n_threads ~n_active ~phases cfg] — simulated solve time. *)
+val run :
+  ?machine:Oskern.Machine.t ->
+  n_threads:int ->
+  n_active:int ->
+  phases:Fmg_profile.phase list ->
+  config ->
+  result
+
+(** The paper's baseline: [n] threads on [n] cores from the beginning,
+    nonpreemptive BOLT. *)
+val baseline :
+  ?machine:Oskern.Machine.t -> n:int -> phases:Fmg_profile.phase list -> unit -> float

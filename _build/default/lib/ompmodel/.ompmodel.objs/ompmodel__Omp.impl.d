@@ -1,0 +1,1 @@
+lib/ompmodel/omp.ml: Cpuset Hashtbl Kernel List Machine Option Oskern Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ompmodel/omp.mli: Oskern

@@ -1,0 +1,56 @@
+(** 1:1-thread OpenMP-like runtime over the simulated kernel — the
+    "Intel OpenMP" baseline of the paper's evaluation.
+
+    Teams are {e hot}: the worker KLTs of a team are created at the
+    first parallel region of a given master and reused afterwards,
+    blocking between regions with KMP_BLOCKTIME semantics (spin for
+    [blocktime], then futex-sleep).  Nested regions create nested hot
+    teams, keyed by the inner master (paper §4: "nested hot teams").
+
+    All entry points must run in KLT process context (the [master]
+    argument is the calling KLT). *)
+
+type t
+
+val create :
+  Oskern.Kernel.t ->
+  ?blocktime:float ->
+  ?bind:bool ->
+  unit ->
+  t
+(** [blocktime] defaults to 200 ms (the KMP_BLOCKTIME default the paper
+    uses when not oversubscribed); [bind] pins team threads round-robin
+    to cores (OMP_PROC_BIND=true). *)
+
+val kernel : t -> Oskern.Kernel.t
+
+(** [parallel t ~master ~nthreads f] runs [f tid klt] on [nthreads]
+    threads ([tid] 0 is the master itself) and joins them (implicit
+    barrier). *)
+val parallel : t -> master:Oskern.Kernel.klt -> nthreads:int -> (int -> Oskern.Kernel.klt -> unit) -> unit
+
+(** [parallel_for t ~master ~nthreads ~lo ~hi f] statically chunks
+    [lo..hi-1] over the team; [f] receives [(klt, chunk_lo, chunk_hi)]
+    with [chunk_hi] exclusive. *)
+val parallel_for :
+  t ->
+  master:Oskern.Kernel.klt ->
+  nthreads:int ->
+  lo:int ->
+  hi:int ->
+  (Oskern.Kernel.klt -> int -> int -> unit) ->
+  unit
+
+(** Apply an affinity mask to every team thread created so far and to
+    future ones ([taskset]-style packing, paper §4.2). *)
+val set_affinity_all : t -> Oskern.Cpuset.t -> unit
+
+(** Number of team KLTs created so far (hot-team reuse check). *)
+val team_threads : t -> int
+
+(** All team KLTs created so far (e.g. to change their scheduling
+    policy, as in the SCHED_FIFO ablation). *)
+val team_klts : t -> Oskern.Kernel.klt list
+
+(** Wake every team and let its KLTs exit, so the engine can drain. *)
+val shutdown : t -> unit

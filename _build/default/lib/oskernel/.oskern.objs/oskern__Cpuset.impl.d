@@ -1,0 +1,1 @@
+lib/oskernel/cpuset.ml: Array Format List String

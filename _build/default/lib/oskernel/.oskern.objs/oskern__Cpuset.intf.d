@@ -1,0 +1,1 @@
+lib/oskernel/cpuset.mli: Format

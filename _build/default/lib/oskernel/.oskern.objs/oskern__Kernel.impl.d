@@ -1,0 +1,1 @@
+lib/oskernel/kernel.ml: Array Cpuset Desim Engine Float Hashtbl List Machine Printf Sync Trace Types

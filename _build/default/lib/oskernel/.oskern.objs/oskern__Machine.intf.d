@@ -1,0 +1,1 @@
+lib/oskernel/machine.mli: Format

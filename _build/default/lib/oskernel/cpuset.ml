@@ -1,0 +1,37 @@
+type t = bool array
+
+let all n =
+  if n <= 0 then invalid_arg "Cpuset.all: n <= 0";
+  Array.make n true
+
+let of_list n cores =
+  if n <= 0 then invalid_arg "Cpuset.of_list: n <= 0";
+  let t = Array.make n false in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= n then invalid_arg "Cpuset.of_list: core out of range";
+      t.(c) <- true)
+    cores;
+  t
+
+let range n lo hi =
+  if lo < 0 || hi >= n || lo > hi then invalid_arg "Cpuset.range: bad range";
+  of_list n (List.init (hi - lo + 1) (fun i -> lo + i))
+
+let mem t c = c >= 0 && c < Array.length t && t.(c)
+
+let count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t
+
+let to_list t =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    if t.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let equal a b = a = b
+
+let width t = Array.length t
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

@@ -1,0 +1,25 @@
+(** CPU affinity masks ([cpu_set_t] analogue). *)
+
+type t
+
+(** [all n] allows cores [0 .. n-1]. *)
+val all : int -> t
+
+(** [of_list n cores] allows exactly [cores] on an [n]-core machine. *)
+val of_list : int -> int list -> t
+
+(** [range n lo hi] allows cores [lo .. hi] inclusive. *)
+val range : int -> int -> int -> t
+
+val mem : t -> int -> bool
+
+val count : t -> int
+
+val to_list : t -> int list
+
+val equal : t -> t -> bool
+
+(** Number of cores the mask was sized for. *)
+val width : t -> int
+
+val pp : Format.formatter -> t -> unit

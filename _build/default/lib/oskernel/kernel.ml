@@ -1,0 +1,885 @@
+open Desim
+open Types
+
+type klt = Types.klt
+
+type t = {
+  eng : Engine.t;
+  machine : Machine.t;
+  c : Machine.costs;
+  cores : core_state array;
+  mutable all_klts : klt list;
+  signal_lock : Sync.Mutex.t;
+  handlers : (int, t -> klt -> unit) Hashtbl.t;
+  mutable next_kid : int;
+  tr : Trace.t;
+  mutable balance_on : bool;
+  mutable balance_running : bool;
+  mutable delivered : int;
+}
+
+let engine t = t.eng
+
+let machine t = t.machine
+
+let costs t = t.c
+
+let now t = Engine.now t.eng
+
+let trace t = t.tr
+
+let klt_id k = k.kid
+
+let klt_name k = k.kname
+
+let state_name k =
+  match k.state with
+  | Created -> "created"
+  | Runnable -> "runnable"
+  | Running -> "running"
+  | Blocked r -> "blocked:" ^ r
+  | Zombie -> "zombie"
+
+let running_core k = k.core
+
+let cpu_time k = k.cpu_time
+
+let migrations k = k.migrations
+
+let nice k = k.nice
+
+let live_klts t = List.filter (fun k -> k.state <> Zombie) t.all_klts
+
+let signals_delivered t = t.delivered
+
+let set_load_balancing t b = t.balance_on <- b
+
+let total_busy_time t = Array.fold_left (fun acc c -> acc +. c.busy_time) 0.0 t.cores
+
+let core_busy_time t i = t.cores.(i).busy_time
+
+let utilization t =
+  let elapsed = now t in
+  if elapsed <= 0.0 then 0.0
+  else total_busy_time t /. (elapsed *. float_of_int (Array.length t.cores))
+
+let total_migrations t = List.fold_left (fun acc k -> acc + k.migrations) 0 t.all_klts
+
+let emit t tag detail = Trace.emit t.tr (now t) tag detail
+
+(* ------------------------------------------------------------------ *)
+(* Runqueue management.  Queues are small (tens of entries), so sorted
+   lists keep the code obvious. *)
+
+(* Queue ordering: SCHED_FIFO tasks come first (by descending RT
+   priority, FIFO among equals), then CFS tasks by vruntime. *)
+let queue_before a b =
+  match (a.policy, b.policy) with
+  | Sched_fifo pa, Sched_fifo pb -> pa > pb
+  | Sched_fifo _, Sched_other -> true
+  | Sched_other, Sched_fifo _ -> false
+  | Sched_other, Sched_other -> a.vruntime < b.vruntime
+
+let queue_insert core klt =
+  let rec ins = function
+    | [] -> [ klt ]
+    | x :: rest as l -> if queue_before klt x then klt :: l else x :: ins rest
+  in
+  core.queued <- ins core.queued
+
+let queue_remove core klt = core.queued <- List.filter (fun k -> k != klt) core.queued
+
+let core_load core = List.length core.queued + match core.current with Some _ -> 1 | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Accounting. *)
+
+let charge t klt elapsed =
+  if elapsed > 0.0 then begin
+    klt.cpu_time <- klt.cpu_time +. elapsed;
+    klt.cpu_since_move <- klt.cpu_since_move +. elapsed;
+    klt.vruntime <- klt.vruntime +. (elapsed *. 1024.0 /. nice_weight klt.nice);
+    match klt.core with
+    | Some c -> t.cores.(c).busy_time <- t.cores.(c).busy_time +. elapsed
+    | None -> ()
+  end
+
+(* Charge a Running KLT for time elapsed since its last accounting
+   point.  Safe to call from event context (e.g. slice ticks), so
+   [cpu_time] stays fresh even inside long compute chunks. *)
+let account_running t klt =
+  match klt.state with
+  | Running ->
+      let e = now t -. klt.exec_start in
+      if e > 0.0 then begin
+        charge t klt e;
+        klt.exec_start <- now t
+      end
+  | Created | Runnable | Blocked _ | Zombie -> ()
+
+(* Consume CPU from process context without any interruption point
+   (kernel-mode section). *)
+let charge_running t klt dt =
+  if dt > 0.0 then begin
+    klt.exec_start <- now t;
+    Engine.delay dt;
+    account_running t klt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatching. *)
+
+let cancel_slice core =
+  match core.slice_ev with
+  | Some ev ->
+      ignore (Engine.cancel ev);
+      core.slice_ev <- None
+  | None -> ()
+
+let rec set_slice t core =
+  cancel_slice core;
+  let nr = 1 + List.length core.queued in
+  let slice = Float.max t.c.min_granularity (t.c.sched_latency /. float_of_int nr) in
+  core.slice_deadline <- now t +. slice;
+  core.slice_ev <- Some (Engine.after t.eng slice (fun () -> slice_expired t core))
+
+(* A task was enqueued behind a running one: make sure the current slice
+   ends within a tick-like bound (real CFS re-checks every scheduler
+   tick; an armed-when-alone slice must not starve the newcomer). *)
+and tighten_slice t core =
+  match core.current with
+  | None -> ()
+  | Some _ ->
+      let want = now t +. t.c.min_granularity in
+      if want < core.slice_deadline then begin
+        cancel_slice core;
+        core.slice_deadline <- want;
+        core.slice_ev <-
+          Some (Engine.after t.eng t.c.min_granularity (fun () -> slice_expired t core))
+      end
+
+and slice_expired t core =
+  core.slice_ev <- None;
+  match core.current with
+  | None -> ()
+  | Some klt -> (
+      account_running t klt;
+      let fifo_keeps_core =
+        match klt.policy with
+        | Sched_fifo p ->
+            (* FIFO runs until it blocks or a higher-priority task
+               arrives; it never round-robins with CFS tasks. *)
+            not
+              (List.exists
+                 (fun k -> match k.policy with Sched_fifo p' -> p' > p | Sched_other -> false)
+                 core.queued)
+        | Sched_other -> false
+      in
+      if
+        (core.queued = [] || fifo_keeps_core) && Cpuset.mem klt.affinity core.cid
+      then set_slice t core
+      else
+        match klt.on_interrupt with
+        | Some intr -> intr Slice_end
+        | None ->
+            (* Non-preemptible (kernel) section; retry shortly. *)
+            set_slice t core)
+
+and dispatch t core =
+  match core.current with
+  | Some _ -> ()
+  | None -> (
+      match core.queued with
+      | [] ->
+          cancel_slice core;
+          newidle_balance t core
+      | klt :: rest ->
+          core.queued <- rest;
+          core.current <- Some klt;
+          klt.state <- Running;
+          klt.core <- Some core.cid;
+          core.min_vruntime <- Float.max core.min_vruntime klt.vruntime;
+          if klt.last_core <> core.cid then begin
+            klt.migrations <- klt.migrations + 1;
+            (* Cache-refill cost scales with how hot the thread was on
+               its previous core (fully hot after ~1 ms of CPU). *)
+            let hotness = Float.min 1.0 (klt.cpu_since_move /. 1e-3) in
+            klt.pending_overhead <-
+              klt.pending_overhead
+              +. (t.c.migration_cache_penalty *. hotness *. klt.kfootprint);
+            klt.cpu_since_move <- 0.0;
+            emit t "migrate" (Printf.sprintf "%s -> core%d" klt.kname core.cid)
+          end;
+          klt.last_core <- core.cid;
+          if core.last_klt <> klt.kid then
+            klt.pending_overhead <- klt.pending_overhead +. t.c.klt_ctx_switch;
+          core.last_klt <- klt.kid;
+          set_slice t core;
+          emit t "dispatch" (Printf.sprintf "%s on core%d" klt.kname core.cid);
+          (match klt.on_dispatch with
+          | Some resume ->
+              klt.on_dispatch <- None;
+              resume ()
+          | None -> ( (* the process will observe Running synchronously *) )))
+
+and newidle_balance t core =
+  let tnow = now t in
+  if tnow -. core.last_newidle >= t.c.newidle_min_interval then begin
+    core.last_newidle <- tnow;
+    (* Pull a queued (not running) KLT from the busiest eligible core. *)
+    let best = ref None in
+    Array.iter
+      (fun other ->
+        if other.cid <> core.cid then
+          let eligible =
+            List.filter (fun k -> Cpuset.mem k.affinity core.cid) other.queued
+          in
+          match eligible with
+          | [] -> ()
+          | k :: _ -> (
+              let load = core_load other in
+              match !best with
+              | Some (bl, _, _) when bl >= load -> ()
+              | _ -> best := Some (load, other, k)))
+      t.cores;
+    match !best with
+    | Some (load, other, k) when load >= 2 ->
+        queue_remove other k;
+        queue_insert core k;
+        emit t "newidle" (Printf.sprintf "core%d pulls %s from core%d" core.cid k.kname other.cid);
+        dispatch t core
+    | _ -> ()
+  end
+
+(* Wake-time core selection: prefer the previous core when it is idle or
+   no more loaded than the best alternative (cache affinity, like CFS
+   wake_affine), otherwise the least-loaded allowed core. *)
+let select_core t klt =
+  let allowed = List.filter (fun c -> Cpuset.mem klt.affinity c.cid) (Array.to_list t.cores) in
+  match allowed with
+  | [] -> invalid_arg (Printf.sprintf "Kernel: %s has empty affinity" klt.kname)
+  | first :: _ -> (
+      let last = if Cpuset.mem klt.affinity klt.last_core then Some t.cores.(klt.last_core) else None in
+      match last with
+      | Some c when core_load c = 0 -> c
+      | _ -> (
+          let idle = List.find_opt (fun c -> core_load c = 0) allowed in
+          match idle with
+          | Some c -> c
+          | None ->
+              let least =
+                List.fold_left
+                  (fun acc c -> if core_load c < core_load acc then c else acc)
+                  first allowed
+              in
+              (match last with
+              | Some c when core_load c <= core_load least -> c
+              | _ -> least)))
+
+(* Enqueue a newly-runnable KLT on [core], with CFS sleeper-fairness
+   vruntime normalization. *)
+let enqueue t core klt =
+  klt.state <- Runnable;
+  klt.core <- None;
+  klt.vruntime <- Float.max klt.vruntime (core.min_vruntime -. t.c.sched_latency);
+  queue_insert core klt
+
+let wake_preempt_check t core woken =
+  match core.current with
+  | None -> ()
+  | Some cur ->
+      let should_preempt =
+        match (woken.policy, cur.policy) with
+        | Sched_fifo pw, Sched_fifo pc -> pw > pc
+        | Sched_fifo _, Sched_other -> true
+        | Sched_other, Sched_fifo _ -> false
+        | Sched_other, Sched_other ->
+            woken.vruntime +. t.c.wakeup_granularity < cur.vruntime
+      in
+      if should_preempt then
+        match cur.on_interrupt with
+        | Some intr -> intr Wake_preempt
+        | None ->
+            (* Non-preemptible kernel section: re-check via the slice
+               path as soon as it ends instead of dropping the preempt. *)
+            cancel_slice core;
+            core.slice_ev <-
+              Some (Engine.after t.eng 2e-6 (fun () -> slice_expired t core))
+
+(* Transition to Runnable and suspend the current process until the
+   scheduler dispatches this KLT.  Process context. *)
+let wait_dispatch _t klt =
+  if klt.state <> Running then
+    Engine.block (fun resume -> klt.on_dispatch <- Some resume)
+
+let become_runnable t klt =
+  klt.wakeups <- klt.wakeups + 1;
+  let core = select_core t klt in
+  enqueue t core klt;
+  if core.current = None then dispatch t core
+  else begin
+    wake_preempt_check t core klt;
+    tighten_slice t core
+  end
+
+(* Release the core this KLT is running on (process context). *)
+let release_core t klt ~reason =
+  match klt.core with
+  | None -> ()
+  | Some cid ->
+      let core = t.cores.(cid) in
+      core.current <- None;
+      core.last_klt <- klt.kid;
+      cancel_slice core;
+      klt.core <- None;
+      klt.state <- (match reason with `Blocked r -> Blocked r | `Runnable -> Runnable);
+      dispatch t core
+
+(* Deschedule after a slice/wake preemption: back on this core's queue. *)
+let preempt_self t klt =
+  match klt.core with
+  | None -> ()
+  | Some cid ->
+      let core = t.cores.(cid) in
+      core.current <- None;
+      core.last_klt <- klt.kid;
+      emit t "preempt" klt.kname;
+      if Cpuset.mem klt.affinity core.cid then begin
+        enqueue t core klt;
+        dispatch t core
+      end
+      else begin
+        (* Repinned away while running: migrate at this scheduling point. *)
+        let dest = select_core t klt in
+        enqueue t dest klt;
+        dispatch t core;
+        if dest.current = None then dispatch t dest
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Signals. *)
+
+let signal_blocked klt signo = List.mem signo klt.sigmask
+
+let deliverable klt =
+  let rec pick acc = function
+    | [] -> None
+    | s :: rest ->
+        if signal_blocked klt s then pick (s :: acc) rest
+        else Some (s, List.rev_append acc rest)
+  in
+  pick [] klt.pending_signals
+
+let sigaction t signo handler = Hashtbl.replace t.handlers signo handler
+
+let sigblock _t klt signo = klt.sigmask <- signo :: klt.sigmask
+
+let sigunblock _t klt signo =
+  let rec remove_one = function
+    | [] -> []
+    | s :: rest -> if s = signo then rest else s :: remove_one rest
+  in
+  klt.sigmask <- remove_one klt.sigmask
+
+(* Run handlers for every deliverable pending signal.  Process context,
+   Running.  Models the serialized in-kernel delivery path: the global
+   signal lock is held for [signal_lock_hold]; waiting for it consumes
+   CPU (the KLT spins in kernel mode), which is the Fig. 4 contention
+   mechanism. *)
+let rec process_signals t klt =
+  match deliverable klt with
+  | None -> ()
+  | Some (signo, rest) ->
+      klt.pending_signals <- rest;
+      (* Waiting for the lock spins in kernel mode: it burns core time. *)
+      klt.exec_start <- now t;
+      Sync.Mutex.lock t.signal_lock;
+      account_running t klt;
+      Engine.delay t.c.signal_lock_hold;
+      account_running t klt;
+      Sync.Mutex.unlock t.signal_lock;
+      charge_running t klt t.c.signal_handler_entry;
+      t.delivered <- t.delivered + 1;
+      emit t "signal" (Printf.sprintf "%s <- sig%d" klt.kname signo);
+      sigblock t klt signo;
+      (match Hashtbl.find_opt t.handlers signo with
+      | Some h -> h t klt
+      | None -> ());
+      sigunblock t klt signo;
+      process_signals t klt
+
+let kill _t klt signo =
+  if klt.state <> Zombie then begin
+    klt.pending_signals <- klt.pending_signals @ [ signo ];
+    if not (signal_blocked klt signo) then
+      match klt.state with
+      | Running -> (
+          match klt.on_interrupt with Some intr -> intr Signal_pending | None -> ())
+      | Blocked _ -> (
+          match klt.on_blocked_signal with Some f -> f () | None -> ())
+      | Runnable | Created | Zombie -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The interruptible compute loop — the heart of the kernel model. *)
+
+type chunk_result = Chunk_done | Chunk_interrupted of interrupt_reason
+
+let run_chunk t klt dt =
+  let chunk_start = now t in
+  klt.exec_start <- chunk_start;
+  let result =
+    Engine.block (fun resume ->
+        let ev = Engine.after t.eng dt (fun () -> resume Chunk_done) in
+        klt.on_interrupt <-
+          Some
+            (fun reason ->
+              if Engine.cancel ev then resume (Chunk_interrupted reason)))
+  in
+  klt.on_interrupt <- None;
+  (* [account_running] may have charged part of this chunk already (at
+     slice ticks); charge the rest and report total chunk progress. *)
+  account_running t klt;
+  let elapsed = now t -. chunk_start in
+  (elapsed, result)
+
+let eps = 1e-12
+
+let compute_stoppable t klt amount ~should_stop =
+  if amount < 0.0 then invalid_arg "Kernel.compute: negative amount";
+  let remaining = ref amount in
+  let finished = ref false in
+  let result = ref 0.0 in
+  while not !finished do
+    wait_dispatch t klt;
+    (* Deferred dispatch/migration/timer costs are consumed here, before
+       any signal handler runs — so e.g. a timer expiry's kernel work
+       sits inside the measured preemption-latency window, as on real
+       systems. *)
+    let overhead = klt.pending_overhead in
+    klt.pending_overhead <- 0.0;
+    charge_running t klt overhead;
+    process_signals t klt;
+    if should_stop () then begin
+      finished := true;
+      result := Float.max 0.0 !remaining
+    end
+    else if !remaining <= eps then begin
+      finished := true;
+      result := 0.0
+    end
+    else begin
+      let elapsed, r = run_chunk t klt !remaining in
+      remaining := !remaining -. elapsed;
+      match r with
+      | Chunk_done -> ()
+      | Chunk_interrupted Signal_pending -> ()
+      | Chunk_interrupted (Slice_end | Wake_preempt) -> preempt_self t klt
+    end
+  done;
+  !result
+
+let compute t klt amount =
+  let leftover = compute_stoppable t klt amount ~should_stop:(fun () -> false) in
+  assert (leftover = 0.0)
+
+let busy_wait t klt ?(poll = 20e-6) cond =
+  while not (cond ()) do
+    compute t klt poll
+  done
+
+let consume = charge_running
+
+let add_overhead _t klt d =
+  if d < 0.0 then invalid_arg "Kernel.add_overhead: negative";
+  klt.pending_overhead <- klt.pending_overhead +. d
+
+let has_pending_signal klt = deliverable klt <> None
+
+(* ------------------------------------------------------------------ *)
+(* Blocking. *)
+
+(* Suspend the calling KLT, releasing its core.  [setup deliver] runs
+   synchronously and must arrange for [deliver] to be called exactly
+   once later.  If [interruptible], an unmasked signal also wakes the
+   KLT (returning [`Eintr]); its handler runs before we return. *)
+let suspend (type a) t klt ~reason ~interruptible (setup : (a -> unit) -> unit) :
+    [ `Value of a | `Eintr ] =
+  if interruptible && deliverable klt <> None then begin
+    (* A deliverable signal is already pending: like sigsuspend, run its
+       handler and return immediately instead of sleeping forever. *)
+    process_signals t klt;
+    `Eintr
+  end
+  else begin
+    release_core t klt ~reason:(`Blocked reason);
+  let r =
+    Engine.block (fun resume ->
+        let fired = ref false in
+        let once v =
+          if not !fired then begin
+            fired := true;
+            klt.on_blocked_signal <- None;
+            resume v
+          end
+        in
+        if interruptible then klt.on_blocked_signal <- Some (fun () -> once `Eintr);
+        setup (fun v -> once (`Value v)))
+  in
+    become_runnable t klt;
+    wait_dispatch t klt;
+    process_signals t klt;
+    r
+  end
+
+let sleep t klt dt =
+  if dt < 0.0 then invalid_arg "Kernel.sleep: negative";
+  if dt > 0.0 then
+    match
+      suspend t klt ~reason:"sleep" ~interruptible:false (fun deliver ->
+          ignore (Engine.after t.eng dt (fun () -> deliver ())))
+    with
+    | `Value () -> ()
+    | `Eintr -> assert false
+
+(* Blocking-syscall model (paper §3.5.1): interruptible wait; SA_RESTART
+   resumes with the remaining time after the handler, paying a kernel
+   re-entry cost per restart. *)
+let blocking_syscall t klt ~duration ~sa_restart =
+  if duration < 0.0 then invalid_arg "Kernel.blocking_syscall: negative";
+  let restarts = ref 0 in
+  let rec attempt remaining =
+    if remaining <= 0.0 then `Done !restarts
+    else begin
+      let started = now t in
+      let r =
+        suspend t klt ~reason:"syscall" ~interruptible:true (fun deliver ->
+            ignore (Engine.after t.eng remaining (fun () -> deliver ())))
+      in
+      match r with
+      | `Value () -> `Done !restarts
+      | `Eintr ->
+          (* The signal handler has already run (inside [suspend]'s wake
+             path).  Pay the syscall re-entry cost and decide. *)
+          incr restarts;
+          let left = Float.max 0.0 (remaining -. (now t -. started)) in
+          charge_running t klt (t.c.signal_handler_entry /. 2.0);
+          if sa_restart then attempt left else `Eintr (left, !restarts)
+    end
+  in
+  attempt duration
+
+let pause t klt =
+  match suspend t klt ~reason:"pause" ~interruptible:true (fun (_ : unit -> unit) -> ()) with
+  | `Eintr -> ()
+  | `Value () -> assert false (* nothing ever delivers a value to pause *)
+
+let yield t klt =
+  match klt.core with
+  | None -> ()
+  | Some cid ->
+      let core = t.cores.(cid) in
+      if core.queued <> [] then begin
+        (* CFS yield: behind everything currently queued here. *)
+        let maxv =
+          List.fold_left (fun acc k -> Float.max acc k.vruntime) klt.vruntime core.queued
+        in
+        klt.vruntime <- maxv +. 1e-9;
+        preempt_self t klt;
+        wait_dispatch t klt;
+        process_signals t klt
+      end
+
+let join t ~joiner target =
+  if target.state <> Zombie then
+    match
+      suspend t joiner ~reason:"join" ~interruptible:false (fun deliver ->
+          target.exit_waiters <- (fun () -> deliver ()) :: target.exit_waiters)
+    with
+    | `Value () -> ()
+    | `Eintr -> assert false
+
+let pthread_kill t ~sender target signo =
+  charge_running t sender t.c.pthread_kill;
+  kill t target signo
+
+(* The balance timer is armed lazily (first spawn) and disarms itself
+   once every KLT has exited, so [Engine.run] can terminate. *)
+let rec balance_tick t =
+  if live_klts t = [] then t.balance_running <- false
+  else
+    ignore
+      (Engine.after t.eng t.c.balance_interval (fun () ->
+         if t.balance_on then begin
+           let busiest = ref t.cores.(0) and idlest = ref t.cores.(0) in
+           Array.iter
+             (fun c ->
+               if core_load c > core_load !busiest then busiest := c;
+               if core_load c < core_load !idlest then idlest := c)
+             t.cores;
+           (* Move queued tasks from the busiest to the idlest core until
+              the imbalance halves (Linux moves up to the imbalance). *)
+           let moves =
+             ref ((core_load !busiest - core_load !idlest) / 2)
+           in
+           while
+             !moves > 0
+             && core_load !busiest >= core_load !idlest + 2
+             &&
+             match
+               List.find_opt
+                 (fun k -> Cpuset.mem k.affinity !idlest.cid)
+                 (List.rev !busiest.queued)
+             with
+             | Some k ->
+                 queue_remove !busiest k;
+                 queue_insert !idlest k;
+                 emit t "balance"
+                   (Printf.sprintf "%s core%d -> core%d" k.kname !busiest.cid !idlest.cid);
+                 if !idlest.current = None then dispatch t !idlest;
+                 true
+             | None -> false
+           do
+             decr moves
+           done
+         end;
+         balance_tick t))
+
+(* ------------------------------------------------------------------ *)
+(* KLT lifecycle. *)
+
+let exit_klt t klt =
+  release_core t klt ~reason:(`Blocked "exiting");
+  klt.state <- Zombie;
+  let waiters = klt.exit_waiters in
+  klt.exit_waiters <- [];
+  List.iter (fun f -> f ()) waiters;
+  emit t "exit" klt.kname
+
+let spawn t ?(nice = 0) ?affinity ?creator ~name body =
+  let affinity =
+    match affinity with Some a -> a | None -> Cpuset.all (Array.length t.cores)
+  in
+  if Cpuset.width affinity <> Array.length t.cores then
+    invalid_arg "Kernel.spawn: affinity width mismatch";
+  let klt =
+    {
+      kid = t.next_kid;
+      kname = name;
+      state = Created;
+      nice;
+      policy = Sched_other;
+      vruntime = 0.0;
+      affinity;
+      core = None;
+      last_core =
+        (* Spread initial placement round-robin over the allowed cores:
+           a newborn thread has no cache affinity, and biasing them all
+           to the first core starves whatever runs there. *)
+        (match Cpuset.to_list affinity with
+        | [] -> 0
+        | allowed -> List.nth allowed (t.next_kid mod List.length allowed));
+      pending_signals = [];
+      sigmask = [];
+      cpu_since_move = 0.0;
+      kfootprint = 1.0;
+      on_dispatch = None;
+      on_interrupt = None;
+      on_blocked_signal = None;
+      exit_waiters = [];
+      cpu_time = 0.0;
+      exec_start = 0.0;
+      migrations = 0;
+      pending_overhead = 0.0;
+      wakeups = 0;
+    }
+  in
+  t.next_kid <- t.next_kid + 1;
+  t.all_klts <- klt :: t.all_klts;
+  if not t.balance_running then begin
+    t.balance_running <- true;
+    balance_tick t
+  end;
+  (match creator with Some c -> charge_running t c t.c.klt_create | None -> ());
+  Engine.spawn t.eng name (fun () ->
+      become_runnable t klt;
+      wait_dispatch t klt;
+      process_signals t klt;
+      body klt;
+      exit_klt t klt);
+  klt
+
+let set_nice _t klt n = klt.nice <- n
+
+let set_footprint _t klt f =
+  if f < 0.0 || f > 1.0 then invalid_arg "Kernel.set_footprint: out of [0,1]";
+  klt.kfootprint <- f
+
+let set_policy _t klt p =
+  klt.policy <- (match p with `Fifo prio -> Sched_fifo prio | `Other -> Sched_other)
+
+let policy_name klt =
+  match klt.policy with
+  | Sched_other -> "SCHED_OTHER"
+  | Sched_fifo p -> Printf.sprintf "SCHED_FIFO:%d" p
+
+let set_affinity t klt mask =
+  if Cpuset.width mask <> Array.length t.cores then
+    invalid_arg "Kernel.set_affinity: width mismatch";
+  klt.affinity <- mask;
+  match klt.state with
+  | Runnable ->
+      (* If queued on a forbidden core, migrate now. *)
+      let holding =
+        Array.to_list t.cores |> List.find_opt (fun c -> List.memq klt c.queued)
+      in
+      (match holding with
+      | Some core when not (Cpuset.mem mask core.cid) ->
+          queue_remove core klt;
+          let dest = select_core t klt in
+          queue_insert dest klt;
+          if dest.current = None then dispatch t dest
+      | _ -> ())
+  | Running | Created | Blocked _ | Zombie -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Futex. *)
+
+module Futex = struct
+  type waiter = { mutable alive : bool; deliver : unit -> unit }
+
+  type nonrec t = { k : t; mutable value : int; mutable fwaiters : waiter list }
+
+  let create k v = { k; value = v; fwaiters = [] }
+
+  let value f = f.value
+
+  let set f v = f.value <- v
+
+  let waiters f = List.length (List.filter (fun w -> w.alive) f.fwaiters)
+
+  let wait k klt f ~expected =
+    if f.value <> expected then `Again
+    else begin
+      match
+        suspend k klt ~reason:"futex" ~interruptible:false (fun deliver ->
+            f.fwaiters <- f.fwaiters @ [ { alive = true; deliver = (fun () -> deliver ()) } ])
+      with
+      | `Value () -> `Ok
+      | `Eintr -> assert false
+    end
+
+  let wake k ?waker f n =
+    (match waker with Some w -> charge_running k w k.c.futex_wake | None -> ());
+    let woken = ref 0 in
+    let rec pop () =
+      if !woken < n then
+        match f.fwaiters with
+        | [] -> ()
+        | w :: rest ->
+            f.fwaiters <- rest;
+            if w.alive then begin
+              w.alive <- false;
+              incr woken;
+              ignore
+                (Engine.after k.eng k.c.futex_wake_latency (fun () -> w.deliver ()))
+            end;
+            pop ()
+    in
+    pop ();
+    !woken
+end
+
+(* ------------------------------------------------------------------ *)
+(* Timers. *)
+
+module Timer = struct
+  type nonrec t = {
+    k : t;
+    interval : float;
+    signo : int;
+    target : unit -> klt option;
+    mutable on : bool;
+    mutable ev : Engine.event option;
+    mutable count : int;
+  }
+
+  let rec arm tm =
+    tm.ev <-
+      Some
+        (Engine.after tm.k.eng tm.interval (fun () ->
+             if tm.on then begin
+               fire tm;
+               arm tm
+             end))
+
+  and fire tm =
+    tm.count <- tm.count + 1;
+    match tm.target () with
+    | Some klt ->
+        klt.pending_overhead <- klt.pending_overhead +. tm.k.c.timer_fire;
+        kill tm.k klt tm.signo
+    | None -> ()
+
+  let create k ?first ~interval ~signo ~target () =
+    if interval <= 0.0 then invalid_arg "Kernel.Timer.create: interval <= 0";
+    let tm = { k; interval; signo; target; on = true; ev = None; count = 0 } in
+    let first = match first with Some f -> f | None -> interval in
+    tm.ev <-
+      Some
+        (Engine.after k.eng first (fun () ->
+             if tm.on then begin
+               fire tm;
+               arm tm
+             end));
+    tm
+
+  let cancel tm =
+    tm.on <- false;
+    match tm.ev with
+    | Some ev ->
+        ignore (Engine.cancel ev);
+        tm.ev <- None
+    | None -> ()
+
+  let active tm = tm.on
+
+  let fires tm = tm.count
+end
+
+(* ------------------------------------------------------------------ *)
+(* Periodic load balancing. *)
+
+let create ?trace eng machine =
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  let cores =
+    Array.init machine.Machine.cores (fun cid ->
+        {
+          cid;
+          current = None;
+          queued = [];
+          slice_ev = None;
+          slice_deadline = infinity;
+          min_vruntime = 0.0;
+          last_newidle = -1.0;
+          last_klt = -1;
+          busy_time = 0.0;
+        })
+  in
+  let t =
+    {
+      eng;
+      machine;
+      c = machine.Machine.costs;
+      cores;
+      all_klts = [];
+      signal_lock = Sync.Mutex.create ();
+      handlers = Hashtbl.create 16;
+      next_kid = 0;
+      tr;
+      balance_on = true;
+      balance_running = false;
+      delivered = 0;
+    }
+  in
+  t

@@ -1,0 +1,228 @@
+(** Simulated OS kernel: cores, kernel-level threads (KLTs), a CFS-like
+    scheduler, POSIX-style signals with a contended in-kernel delivery
+    lock, futexes and interval timers.
+
+    KLT bodies run as {!Desim.Engine} processes; every function below
+    marked "process context" must be called from the body of the KLT it
+    operates on.  A KLT only makes progress while the scheduler has
+    placed it on a core, so [compute] may take longer in virtual time
+    than the amount of CPU it consumes. *)
+
+type t
+
+type klt
+
+(** {1 Construction} *)
+
+val create : ?trace:Desim.Trace.t -> Desim.Engine.t -> Machine.t -> t
+
+val engine : t -> Desim.Engine.t
+
+val machine : t -> Machine.t
+
+val costs : t -> Machine.costs
+
+val now : t -> float
+
+val trace : t -> Desim.Trace.t
+
+(** {1 KLTs} *)
+
+(** [spawn t ~name body] creates a KLT; [body] runs once the scheduler
+    first dispatches it.  [creator], when given, is charged the
+    [klt_create] cost (it must be in process context).  Default
+    affinity: all cores; default nice: 0. *)
+val spawn :
+  t ->
+  ?nice:int ->
+  ?affinity:Cpuset.t ->
+  ?creator:klt ->
+  name:string ->
+  (klt -> unit) ->
+  klt
+
+val klt_id : klt -> int
+
+val klt_name : klt -> string
+
+val state_name : klt -> string
+(** ["created" | "runnable" | "running" | "blocked:<reason>" | "zombie"] *)
+
+val running_core : klt -> int option
+
+val cpu_time : klt -> float
+
+val migrations : klt -> int
+
+val nice : klt -> int
+
+val set_nice : t -> klt -> int -> unit
+
+(** [set_footprint t klt f] — relative cache working set in [0,1]
+    scaling this KLT's migration penalty.  Default 1.  An M:N runtime
+    sets its carrier KLTs near 0 because thread data movement is charged
+    at the user level. *)
+val set_footprint : t -> klt -> float -> unit
+
+(** [set_policy t klt (`Fifo prio)] switches the KLT to POSIX SCHED_FIFO
+    (real-time, runs until it blocks; higher [prio] preempts lower and
+    any CFS task); [`Other] returns it to fair scheduling.  The paper's
+    §4.3 notes such policies would give strict in-situ prioritization
+    but need root on real systems — the simulator has no such limits, so
+    the ablation is available (see bench). *)
+val set_policy : t -> klt -> [ `Fifo of int | `Other ] -> unit
+
+val policy_name : klt -> string
+
+val set_affinity : t -> klt -> Cpuset.t -> unit
+(** Re-pins a KLT.  If it is queued on a now-forbidden core it is
+    migrated immediately; if it is running there it migrates at the next
+    scheduling point. *)
+
+val live_klts : t -> klt list
+
+(** {1 Process-context operations} *)
+
+(** [compute t klt d] consumes [d] seconds of CPU.  Pending signals are
+    handled at interruption points inside. *)
+val compute : t -> klt -> float -> unit
+
+(** [compute_stoppable t klt d ~should_stop] is [compute] that re-checks
+    [should_stop] after every signal delivery and scheduler preemption;
+    if it returns [true] the call returns the unconsumed remainder.
+    Returns [0.] when [d] was consumed in full. *)
+val compute_stoppable : t -> klt -> float -> should_stop:(unit -> bool) -> float
+
+(** [busy_wait t klt ~poll cond] spins, consuming CPU in [poll]-sized
+    chunks, until [cond ()] holds.  Models flag-polling synchronization
+    (e.g. Intel MKL barriers). *)
+val busy_wait : t -> klt -> ?poll:float -> (unit -> bool) -> unit
+
+(** [consume t klt d] burns [d] seconds of CPU with no interruption
+    point (models short non-preemptible runtime sections, e.g. a
+    user-level context switch). Process context. *)
+val consume : t -> klt -> float -> unit
+
+(** [add_overhead t klt d] defers [d] seconds of extra CPU cost to
+    [klt]'s next compute (e.g. an affinity reset paid when a pooled KLT
+    is re-attached). Callable from any context. *)
+val add_overhead : t -> klt -> float -> unit
+
+(** True if [klt] has a pending deliverable (unmasked) signal. *)
+val has_pending_signal : klt -> bool
+
+(** Blocks without consuming CPU (nanosleep-like; uninterruptible). *)
+val sleep : t -> klt -> float -> unit
+
+(** [blocking_syscall t klt ~duration ~sa_restart] models a blocking
+    system call (e.g. I/O) of wall duration [duration] that signals can
+    interrupt (paper §3.5.1).  Each interruption runs the handler, pays
+    a kernel re-entry cost, and — with [sa_restart] — resumes the call
+    for its remaining time; without it the call fails and the caller is
+    told how much was left.  Returns [`Done] or [`Eintr of remaining].
+    [restarts] counts interruptions either way. *)
+val blocking_syscall :
+  t ->
+  klt ->
+  duration:float ->
+  sa_restart:bool ->
+  [ `Done of int | `Eintr of float * int ]
+
+(** [sched_yield]-like: go to the back of this core's runqueue. *)
+val yield : t -> klt -> unit
+
+(** [join t ~joiner target] blocks [joiner] until [target] exits. *)
+val join : t -> joiner:klt -> klt -> unit
+
+(** {1 Signals} *)
+
+(** [sigaction t signo handler] installs the process-wide handler.  The
+    handler runs in the context of the interrupted KLT, with [signo]
+    blocked for its duration. *)
+val sigaction : t -> int -> (t -> klt -> unit) -> unit
+
+(** Deliver a signal from outside any KLT (timers, test harnesses). *)
+val kill : t -> klt -> int -> unit
+
+(** [pthread_kill t ~sender target signo] charges [sender] the syscall
+    cost, then delivers. *)
+val pthread_kill : t -> sender:klt -> klt -> int -> unit
+
+val sigblock : t -> klt -> int -> unit
+
+val sigunblock : t -> klt -> int -> unit
+
+val signal_blocked : klt -> int -> bool
+
+(** [pause t klt] blocks until a signal is delivered and its handler has
+    run (sigsuspend-like). *)
+val pause : t -> klt -> unit
+
+(** Number of signals delivered (handlers executed) so far. *)
+val signals_delivered : t -> int
+
+(** {1 Futexes} *)
+
+module Futex : sig
+  type kernel := t
+
+  type t
+
+  val create : kernel -> int -> t
+
+  val value : t -> int
+
+  val set : t -> int -> unit
+
+  (** [wait k klt fut ~expected] returns [`Again] immediately if the
+      value differs, otherwise blocks until woken. *)
+  val wait : kernel -> klt -> t -> expected:int -> [ `Ok | `Again ]
+
+  (** [wake k ~waker fut n] wakes up to [n] waiters, charging [waker]
+      (if given) the syscall cost per call.  Returns the number woken. *)
+  val wake : kernel -> ?waker:klt -> t -> int -> int
+
+  val waiters : t -> int
+end
+
+(** {1 Interval timers} *)
+
+module Timer : sig
+  type kernel := t
+
+  type t
+
+  (** [create k ~first ~interval ~signo ~target ()] arms a periodic
+      timer.  [target] is evaluated at each expiry, so signals can
+      follow a moving target (e.g. "the current KLT of worker 3");
+      [None] skips that expiry.  [first] defaults to [interval]. *)
+  val create :
+    kernel ->
+    ?first:float ->
+    interval:float ->
+    signo:int ->
+    target:(unit -> klt option) ->
+    unit ->
+    t
+
+  val cancel : t -> unit
+
+  val active : t -> bool
+
+  val fires : t -> int
+end
+
+(** {1 Metrics} *)
+
+(** Sum of per-core busy time. *)
+val total_busy_time : t -> float
+
+(** [busy/(cores*now)]; 0 at time 0. *)
+val utilization : t -> float
+
+val core_busy_time : t -> int -> float
+
+val total_migrations : t -> int
+
+(** Enable/disable the periodic CFS load balancer (on by default). *)
+val set_load_balancing : t -> bool -> unit

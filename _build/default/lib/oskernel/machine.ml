@@ -1,0 +1,118 @@
+type costs = {
+  klt_ctx_switch : float;
+  klt_create : float;
+  signal_handler_entry : float;
+  signal_lock_hold : float;
+  pthread_kill : float;
+  timer_fire : float;
+  futex_wake : float;
+  futex_wake_latency : float;
+  sigsuspend_extra : float;
+  affinity_reset : float;
+  migration_cache_penalty : float;
+  ult_ctx_switch : float;
+  handler_ctx_switch : float;
+  ult_migration_cache_penalty : float;
+  sched_latency : float;
+  min_granularity : float;
+  balance_interval : float;
+  newidle_min_interval : float;
+  wakeup_granularity : float;
+}
+
+type t = {
+  name : string;
+  cores : int;
+  hw_threads : int;
+  ghz : float;
+  sockets : int;
+  costs : costs;
+}
+
+let us x = x *. 1e-6
+
+let ms x = x *. 1e-3
+
+(* Calibration targets (paper): Table 1 gives preemption overheads on
+   Skylake of 2.8 us (1:1), 3.5 us (signal-yield) and 9.9 us
+   (KLT-switching); Fig. 4 shows ~1 us aligned interruptions growing to
+   ~100 us under naive contention at 112 workers. *)
+let skylake_costs =
+  {
+    klt_ctx_switch = us 1.4;
+    klt_create = us 12.0;
+    signal_handler_entry = us 1.3;
+    signal_lock_hold = us 1.6;
+    pthread_kill = us 0.4;
+    timer_fire = us 0.3;
+    futex_wake = us 0.5;
+    futex_wake_latency = us 4.0;
+    sigsuspend_extra = us 3.2;
+    affinity_reset = us 1.8;
+    migration_cache_penalty = us 40.0;
+    ult_ctx_switch = us 0.05;
+    handler_ctx_switch = us 0.3;
+    ult_migration_cache_penalty = us 25.0;
+    sched_latency = ms 12.0;
+    min_granularity = ms 3.0;
+    balance_interval = ms 4.0;
+    newidle_min_interval = ms 0.1;
+    wakeup_granularity = ms 1.0;
+  }
+
+(* KNL: "less powerful CPU architecture" — system-call-bound costs scale
+   by roughly the Table 1 ratio (15/2.8 ~ 5.4x), cache penalties a bit
+   less. *)
+let knl_costs =
+  let f = 5.4 in
+  {
+    klt_ctx_switch = us (1.4 *. f);
+    klt_create = us (12.0 *. f);
+    signal_handler_entry = us (1.3 *. f);
+    signal_lock_hold = us (1.6 *. f);
+    pthread_kill = us (0.4 *. f);
+    timer_fire = us (0.3 *. f);
+    futex_wake = us (0.5 *. f);
+    futex_wake_latency = us (4.0 *. f);
+    sigsuspend_extra = us (3.2 *. f);
+    affinity_reset = us (1.8 *. f);
+    migration_cache_penalty = us 80.0;
+    ult_ctx_switch = us 0.2;
+    handler_ctx_switch = us (0.3 *. f);
+    ult_migration_cache_penalty = us 50.0;
+    sched_latency = ms 12.0;
+    min_granularity = ms 3.0;
+    balance_interval = ms 4.0;
+    newidle_min_interval = ms 0.1;
+    wakeup_granularity = ms 1.0;
+  }
+
+let skylake =
+  {
+    name = "Skylake (Xeon Platinum 8180M)";
+    cores = 56;
+    hw_threads = 112;
+    ghz = 2.5;
+    sockets = 2;
+    costs = skylake_costs;
+  }
+
+let knl =
+  {
+    name = "KNL (Xeon Phi 7250)";
+    cores = 68;
+    hw_threads = 272;
+    ghz = 1.4;
+    sockets = 1;
+    costs = knl_costs;
+  }
+
+let with_cores m n =
+  if n <= 0 then invalid_arg "Machine.with_cores: n <= 0";
+  { m with cores = n }
+
+let flops_seconds _m ~per_core_gflops flops = flops /. (per_core_gflops *. 1e9)
+
+let pp ppf m =
+  Format.fprintf ppf "%s: %d cores (%d HWT), %.1f GHz, %d socket(s)" m.name m.cores
+    m.hw_threads m.ghz m.sockets

@@ -1,0 +1,67 @@
+(** Machine descriptions and calibrated cost models.
+
+    Costs are in (virtual) seconds and were calibrated so that the
+    microbenchmark experiments land near the paper's published
+    magnitudes (Table 1, Fig. 4, Fig. 6); see EXPERIMENTS.md. *)
+
+type costs = {
+  klt_ctx_switch : float;
+      (** kernel-level context switch (dispatch of a different KLT) *)
+  klt_create : float;  (** [pthread_create]-equivalent *)
+  signal_handler_entry : float;
+      (** fixed kernel work to enter a user signal handler, excluding
+          the serialized portion below *)
+  signal_lock_hold : float;
+      (** hold time of the global in-kernel signal-delivery lock — the
+          contention source behind paper Fig. 4 *)
+  pthread_kill : float;  (** cost to the {e sender} of [pthread_kill] *)
+  timer_fire : float;  (** kernel timer-expiry bookkeeping per fire *)
+  futex_wake : float;  (** cost to the caller of FUTEX_WAKE *)
+  futex_wake_latency : float;
+      (** delay until a futex-woken KLT becomes runnable *)
+  sigsuspend_extra : float;
+      (** extra signal round-trip of a sigsuspend-based resume compared
+          with a futex-based one (paper §3.3.1) *)
+  affinity_reset : float;
+      (** [sched_setaffinity] when a pooled KLT moves between workers
+          (paper §3.3.2) *)
+  migration_cache_penalty : float;
+      (** extra compute charged after a KLT runs on a new core (cache
+          refill) *)
+  ult_ctx_switch : float;  (** user-level context switch *)
+  handler_ctx_switch : float;
+      (** extra cost of context-switching out of a signal-handler frame
+          (both the handler and the thread context are saved,
+          paper §3.1.1) *)
+  ult_migration_cache_penalty : float;
+      (** cache refill when a ULT resumes on a different worker *)
+  sched_latency : float;  (** CFS latency target *)
+  min_granularity : float;  (** CFS minimum slice *)
+  balance_interval : float;  (** CFS periodic load-balance period *)
+  newidle_min_interval : float;
+      (** rate limit for new-idle balancing per core *)
+  wakeup_granularity : float;  (** CFS wake-preemption threshold *)
+}
+
+type t = {
+  name : string;
+  cores : int;  (** cores usable by workers *)
+  hw_threads : int;
+  ghz : float;
+  sockets : int;
+  costs : costs;
+}
+
+(** Intel Xeon Platinum 8180M, 2×28 cores, 2.5 GHz (paper Table 2). *)
+val skylake : t
+
+(** Intel Xeon Phi 7250, 68 cores, 1.4 GHz (paper Table 2). *)
+val knl : t
+
+(** [with_cores m n] is [m] restricted to [n] cores (for scaling sweeps). *)
+val with_cores : t -> int -> t
+
+(** Seconds for [flops] floating-point operations at [per_core_gflops]. *)
+val flops_seconds : t -> per_core_gflops:float -> float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(* Shared mutable records of the simulated kernel.  This module is
+   internal to the [oskern] library; the public face is [Kernel]. *)
+
+type klt_state =
+  | Created
+  | Runnable
+  | Running
+  | Blocked of string  (* reason, e.g. "futex", "sleep", "pause" *)
+  | Zombie
+
+type interrupt_reason =
+  | Slice_end  (* CFS time slice expired with other runnable KLTs *)
+  | Signal_pending  (* a deliverable signal arrived *)
+  | Wake_preempt  (* a woken KLT with smaller vruntime preempts us *)
+
+type sched_policy =
+  | Sched_other  (* CFS: fair time sharing, nice-weighted *)
+  | Sched_fifo of int  (* POSIX real-time FIFO; higher value = higher priority *)
+
+type klt = {
+  kid : int;
+  kname : string;
+  mutable state : klt_state;
+  mutable nice : int;
+  mutable policy : sched_policy;
+  mutable vruntime : float;
+  mutable affinity : Cpuset.t;
+  mutable core : int option;  (* core id while Running *)
+  mutable last_core : int;
+  mutable pending_signals : int list;  (* FIFO: oldest first *)
+  mutable sigmask : int list;  (* blocked signal numbers (with multiplicity) *)
+  mutable on_dispatch : (unit -> unit) option;
+  mutable on_interrupt : (interrupt_reason -> unit) option;
+  mutable on_blocked_signal : (unit -> unit) option;
+  mutable exit_waiters : (unit -> unit) list;
+  mutable cpu_time : float;
+  mutable exec_start : float;
+  mutable migrations : int;
+  mutable cpu_since_move : float;
+      (* CPU accumulated since the last core migration: proxies how much
+         cache state the thread would lose by moving *)
+  mutable kfootprint : float;
+      (* relative working set in [0,1]: 1 for threads whose data lives
+         with them (OMP threads), ~0 for thin carrier KLTs of an M:N
+         runtime (the ULT layer charges its own data movement) *)
+  mutable pending_overhead : float;
+      (* dispatch / migration / timer costs charged at the next compute *)
+  mutable wakeups : int;
+}
+
+type core_state = {
+  cid : int;
+  mutable current : klt option;
+  mutable queued : klt list;  (* runnable, not running; sorted by vruntime *)
+  mutable slice_ev : Desim.Engine.event option;
+  mutable slice_deadline : float;
+  mutable min_vruntime : float;
+  mutable last_newidle : float;
+  mutable last_klt : int;  (* last KLT that ran here, for switch cost *)
+  mutable busy_time : float;
+}
+
+let nice_weight nice = 1024.0 /. (1.25 ** float_of_int nice)

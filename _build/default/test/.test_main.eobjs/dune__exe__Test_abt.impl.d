@@ -1,0 +1,1 @@
+test/test_abt.ml: Abt Alcotest Desim Engine Kernel List Machine Oskern Preempt_core

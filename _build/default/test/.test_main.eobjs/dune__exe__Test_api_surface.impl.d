@@ -1,0 +1,1 @@
+test/test_api_surface.ml: Alcotest Astring_contains Cpuset Desim Engine Experiments Format Kernel Machine Oskern Preempt_core Runtime Stats Types Ult

@@ -1,0 +1,1 @@
+test/test_chart.ml: Alcotest Astring_contains Chart Experiments Filename String Sys

@@ -1,0 +1,1 @@
+test/test_cpuset.ml: Alcotest Cpuset Machine Oskern

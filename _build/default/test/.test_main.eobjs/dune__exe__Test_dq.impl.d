@@ -1,0 +1,1 @@
+test/test_dq.ml: Alcotest Dq List Preempt_core QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fsync.ml: Alcotest Atomic Fiber Fun List

@@ -1,0 +1,1 @@
+test/test_gantt.ml: Alcotest Astring_contains Cpuset Desim Engine Experiments Gantt Hashtbl Kernel Machine Oskern Printf String Trace

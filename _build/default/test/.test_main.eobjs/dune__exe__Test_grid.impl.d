@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Float Fmg_profile Grid List Multigrid

@@ -1,0 +1,1 @@
+test/test_grid3d.ml: Alcotest Float Grid3d Multigrid

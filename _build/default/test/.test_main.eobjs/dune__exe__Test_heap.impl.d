@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Desim Fun Heap List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Cpuset Desim Engine Float Hashtbl Kernel List Machine Option Oskern Printf Stats

@@ -1,0 +1,1 @@
+test/test_kernel_edge.ml: Alcotest Cpuset Desim Engine Kernel List Machine Oskern Printf

@@ -1,0 +1,1 @@
+test/test_lj.ml: Alcotest Array Desim Float Lj Moldyn

@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Desim Linalg List Lu Matrix QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Desim Float Linalg Matrix QCheck QCheck_alcotest

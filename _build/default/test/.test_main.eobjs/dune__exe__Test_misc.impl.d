@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring_contains Config Desim Engine Kernel Linalg List Machine Moldyn Multigrid Ompmodel Oskern Preempt_core Runtime Types Ult

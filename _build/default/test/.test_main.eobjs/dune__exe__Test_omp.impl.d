@@ -1,0 +1,1 @@
+test/test_omp.ml: Alcotest Array Cpuset Desim Engine Gen Kernel List Machine Omp Ompmodel Oskern QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Desim Fun QCheck QCheck_alcotest Rng Stats

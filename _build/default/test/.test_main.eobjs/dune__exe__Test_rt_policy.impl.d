@@ -1,0 +1,1 @@
+test/test_rt_policy.ml: Alcotest Desim Engine Kernel List Machine Oskern Printf

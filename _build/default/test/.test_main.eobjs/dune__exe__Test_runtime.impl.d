@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Config Desim Engine Float Kernel List Machine Oskern Preempt_core Printf Runtime Sched_packing Sched_priority Stats Types Ult Usync

@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Array Desim Engine Kernel List Machine Oskern Preempt_core Printf QCheck QCheck_alcotest Runtime Sched_packing Sched_priority Sched_ws

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Config Desim Engine Kernel List Machine Oskern Preempt_core Printf QCheck QCheck_alcotest Rng Runtime Sched_packing Types Ult Usync

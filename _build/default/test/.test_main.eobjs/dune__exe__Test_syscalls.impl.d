@@ -1,0 +1,1 @@
+test/test_syscalls.ml: Alcotest Config Desim Engine Experiments Kernel List Machine Oskern Preempt_core Runtime Types Ult

@@ -1,0 +1,1 @@
+test/test_tiled.ml: Alcotest Array Desim Linalg List Matrix QCheck QCheck_alcotest Tiled

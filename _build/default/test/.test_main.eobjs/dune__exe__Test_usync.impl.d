@@ -1,0 +1,1 @@
+test/test_usync.ml: Alcotest Array Config Desim Engine Kernel List Machine Oskern Preempt_core Printf Runtime Types Ult Usync

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Linalg Machine Moldyn Multigrid Oskern Preempt_core

@@ -1,0 +1,85 @@
+(* The Argobots-flavored facade. *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let with_rt ?(xstreams = 2) ?preemption f =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake xstreams) in
+  let rt = Abt.init ?preemption kernel ~num_xstreams:xstreams () in
+  f eng rt
+
+let test_create_join () =
+  with_rt (fun eng rt ->
+      let done_ = ref false in
+      ignore
+        (Abt.thread_create rt ~name:"main" (fun () ->
+             let t =
+               Abt.thread_create rt (fun () ->
+                   Abt.work 1e-3;
+                   done_ := true)
+             in
+             Abt.thread_join rt t));
+      Engine.run eng;
+      Alcotest.(check bool) "joined after completion" true !done_;
+      Alcotest.(check int) "xstreams" 2 (Abt.num_xstreams rt))
+
+let test_yield_and_kinds () =
+  with_rt ~xstreams:1 ~preemption:1e-3 (fun eng rt ->
+      let log = ref [] in
+      let mk kind name =
+        ignore
+          (Abt.thread_create rt ~kind ~name (fun () ->
+               Abt.work 3e-3;
+               log := name :: !log))
+      in
+      mk Abt.Cooperative "coop";
+      mk Abt.Preemptive_signal_yield "sy";
+      mk Abt.Preemptive_klt_switching "ks";
+      Engine.run eng;
+      Alcotest.(check int) "all three kinds ran" 3 (List.length !log))
+
+let test_suspend_resume () =
+  with_rt (fun eng rt ->
+      let parked = ref None in
+      let resumed = ref false in
+      ignore
+        (Abt.thread_create rt ~name:"sleeper" (fun () ->
+             Abt.self_suspend (fun self -> parked := Some self);
+             resumed := true));
+      ignore
+        (Engine.after eng 0.01 (fun () ->
+             match !parked with
+             | Some t -> Abt.thread_resume rt t
+             | None -> Alcotest.fail "never parked"));
+      Engine.run eng;
+      Alcotest.(check bool) "resumed" true !resumed)
+
+let test_eventual () =
+  with_rt (fun eng rt ->
+      let got = ref 0 in
+      let ev = Abt.Eventual.create rt in
+      ignore (Abt.thread_create rt (fun () -> got := Abt.Eventual.read ev));
+      ignore
+        (Abt.thread_create rt (fun () ->
+             Abt.work 1e-3;
+             Abt.Eventual.fill ev 9));
+      Engine.run eng;
+      Alcotest.(check int) "eventual value" 9 !got)
+
+let test_invalid_preemption () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Abt.init: preemption interval <= 0") (fun () ->
+      ignore (Abt.init ~preemption:0.0 kernel ~num_xstreams:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "create/join" `Quick test_create_join;
+    Alcotest.test_case "three kinds coexist" `Quick test_yield_and_kinds;
+    Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+    Alcotest.test_case "eventual" `Quick test_eventual;
+    Alcotest.test_case "invalid preemption" `Quick test_invalid_preemption;
+  ]

@@ -1,0 +1,101 @@
+(* Remaining public-API surface: pretty-printers, guards, and small
+   accessors not covered elsewhere. *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let fmt_to_string pp v = Format.asprintf "%a" pp v
+
+let test_pp_machine_cpuset () =
+  let s = fmt_to_string Machine.pp Machine.skylake in
+  Alcotest.(check bool) "machine pp" true (Astring_contains.contains s "56 cores");
+  let s = fmt_to_string Cpuset.pp (Cpuset.of_list 4 [ 0; 2 ]) in
+  Alcotest.(check string) "cpuset pp" "{0,2}" s
+
+let test_pp_stats () =
+  let st = Stats.create () in
+  Stats.add st 1.0;
+  Stats.add st 3.0;
+  let s = fmt_to_string Stats.pp_summary st in
+  Alcotest.(check bool) "stats pp has n=2" true (Astring_contains.contains s "n=2")
+
+let test_exputil_formats () =
+  Alcotest.(check string) "us" "2.50 us" (Experiments.Exputil.us 2.5e-6);
+  Alcotest.(check string) "pct" "12.34%" (Experiments.Exputil.pct 0.12341);
+  Alcotest.(check string) "seconds" "1.500 s" (Experiments.Exputil.seconds 1.5)
+
+let test_set_preemption_interval_guard () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let rt = Runtime.create kernel ~n_workers:1 in
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Runtime.set_preemption_interval: interval <= 0") (fun () ->
+      Runtime.set_preemption_interval rt 0.0)
+
+let test_runtime_create_guards () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  Alcotest.check_raises "zero workers" (Invalid_argument "Runtime.create: n_workers <= 0")
+    (fun () -> ignore (Runtime.create kernel ~n_workers:0));
+  Alcotest.check_raises "too many workers"
+    (Invalid_argument "Runtime.create: more workers than cores") (fun () ->
+      ignore (Runtime.create kernel ~n_workers:3))
+
+let test_double_start_rejected () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let rt = Runtime.create kernel ~n_workers:1 in
+  ignore (Runtime.spawn rt ~name:"x" (fun () -> ()));
+  Runtime.start rt;
+  Alcotest.check_raises "double start" (Invalid_argument "Runtime.start: already started")
+    (fun () -> Runtime.start rt);
+  Engine.run eng
+
+let test_ult_accessors () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let rt = Runtime.create kernel ~n_workers:1 in
+  let u = Runtime.spawn rt ~kind:Types.Signal_yield ~priority:2 ~name:"acc" (fun () -> ()) in
+  Alcotest.(check string) "name" "acc" (Ult.name u);
+  Alcotest.(check int) "priority" 2 (Ult.priority u);
+  Ult.set_priority u 5;
+  Alcotest.(check int) "set_priority" 5 (Ult.priority u);
+  Alcotest.(check bool) "kind" true (Ult.kind u = Types.Signal_yield);
+  Alcotest.(check bool) "not finished yet" false (Ult.finished u);
+  Alcotest.(check (float 0.0)) "no cpu yet" 0.0 (Ult.cpu u);
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check bool) "finished" true (Ult.finished u)
+
+let test_kernel_accessors () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  Alcotest.(check int) "cores" 2 (Kernel.machine kernel).Machine.cores;
+  Alcotest.(check bool) "engine identity" true (Kernel.engine kernel == eng);
+  let klt = Kernel.spawn kernel ~nice:3 ~name:"n" (fun _ -> ()) in
+  Alcotest.(check int) "nice" 3 (Kernel.nice klt);
+  Alcotest.(check string) "name" "n" (Kernel.klt_name klt);
+  Alcotest.(check string) "created state" "created" (Kernel.state_name klt);
+  Engine.run eng;
+  Alcotest.(check string) "zombie state" "zombie" (Kernel.state_name klt)
+
+let test_machine_with_cores_preserves_costs () =
+  let m = Machine.with_cores Machine.knl 8 in
+  Alcotest.(check (float 0.0)) "costs preserved"
+    Machine.knl.Machine.costs.Machine.signal_lock_hold
+    m.Machine.costs.Machine.signal_lock_hold;
+  Alcotest.(check int) "cores" 8 m.Machine.cores
+
+let suite =
+  [
+    Alcotest.test_case "pp machine/cpuset" `Quick test_pp_machine_cpuset;
+    Alcotest.test_case "pp stats" `Quick test_pp_stats;
+    Alcotest.test_case "exputil formats" `Quick test_exputil_formats;
+    Alcotest.test_case "set_preemption_interval guard" `Quick test_set_preemption_interval_guard;
+    Alcotest.test_case "runtime create guards" `Quick test_runtime_create_guards;
+    Alcotest.test_case "double start rejected" `Quick test_double_start_rejected;
+    Alcotest.test_case "ult accessors" `Quick test_ult_accessors;
+    Alcotest.test_case "kernel accessors" `Quick test_kernel_accessors;
+    Alcotest.test_case "with_cores preserves costs" `Quick test_machine_with_cores_preserves_costs;
+  ]

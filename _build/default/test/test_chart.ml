@@ -1,0 +1,54 @@
+open Experiments
+
+let series label points = { Chart.label; points }
+
+let test_render_contains_glyphs_and_legend () =
+  let out =
+    Chart.render ~width:20 ~height:6
+      [ series "alpha" [ (0.0, 0.0); (1.0, 1.0) ]; series "beta" [ (0.5, 0.5) ] ]
+  in
+  Alcotest.(check bool) "legend alpha" true
+    (Astring_contains.contains out "alpha");
+  Alcotest.(check bool) "legend beta" true (Astring_contains.contains out "beta");
+  Alcotest.(check bool) "glyph *" true (String.contains out '*');
+  Alcotest.(check bool) "glyph o" true (String.contains out 'o')
+
+let test_render_empty () =
+  Alcotest.(check string) "no data" "(no data)\n" (Chart.render [])
+
+let test_render_log_skips_nonpositive () =
+  let out =
+    Chart.render ~x_log:true ~y_log:true
+      [ series "s" [ (0.0, 1.0); (10.0, 100.0); (100.0, 1000.0) ] ]
+  in
+  (* The (0,1) point is dropped; rendering still works. *)
+  Alcotest.(check bool) "rendered" true (String.length out > 0);
+  Alcotest.(check bool) "log marker" true (Astring_contains.contains out "[log]")
+
+let test_render_single_point () =
+  let out = Chart.render [ series "p" [ (5.0, 5.0) ] ] in
+  Alcotest.(check bool) "single point ok" true (String.contains out '*')
+
+let test_csv_format () =
+  let csv = Chart.to_csv ~header:[ "a"; "b" ] [ [ 1.0; 2.5 ]; [ 3.0; 4.0 ] ] in
+  Alcotest.(check string) "csv" "a,b\n1,2.5\n3,4\n" csv
+
+let test_write_csv_roundtrip () =
+  let path = Filename.temp_file "preempt" ".csv" in
+  Chart.write_csv path ~header:[ "x" ] [ [ 42.0 ] ];
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (pair string string)) "contents" ("x", "42") (l1, l2)
+
+let suite =
+  [
+    Alcotest.test_case "render: glyphs + legend" `Quick test_render_contains_glyphs_and_legend;
+    Alcotest.test_case "render: empty" `Quick test_render_empty;
+    Alcotest.test_case "render: log axes skip <=0" `Quick test_render_log_skips_nonpositive;
+    Alcotest.test_case "render: single point" `Quick test_render_single_point;
+    Alcotest.test_case "csv format" `Quick test_csv_format;
+    Alcotest.test_case "write_csv roundtrip" `Quick test_write_csv_roundtrip;
+  ]

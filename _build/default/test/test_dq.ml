@@ -1,0 +1,106 @@
+open Preempt_core
+
+let rec pops n pop =
+  if n = 0 then []
+  else
+    let x = pop () in
+    x :: pops (n - 1) pop
+
+let test_fifo () =
+  let q = Dq.create () in
+  List.iter (Dq.push_back q) [ 1; 2; 3 ];
+  Alcotest.(check (list (option int)))
+    "fifo order"
+    [ Some 1; Some 2; Some 3; None ]
+    (pops 4 (fun () -> Dq.pop_front q))
+
+let test_lifo () =
+  let q = Dq.create () in
+  List.iter (Dq.push_back q) [ 1; 2; 3 ];
+  Alcotest.(check (list (option int)))
+    "lifo order"
+    [ Some 3; Some 2; Some 1 ]
+    (pops 3 (fun () -> Dq.pop_back q))
+
+let test_steal_pattern () =
+  let q = Dq.create () in
+  List.iter (Dq.push_back q) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "owner front" (Some 1) (Dq.pop_front q);
+  Alcotest.(check (option int)) "thief back" (Some 4) (Dq.pop_back q);
+  Alcotest.(check int) "two left" 2 (Dq.length q)
+
+let test_push_front () =
+  let q = Dq.create () in
+  Dq.push_back q 2;
+  Dq.push_front q 1;
+  Alcotest.(check (list int)) "order" [ 1; 2 ] (Dq.to_list q)
+
+let test_remove () =
+  let q = Dq.create () in
+  List.iter (Dq.push_back q) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "remove 3" (Some 3) (Dq.remove q (fun x -> x = 3));
+  Alcotest.(check (option int)) "remove missing" None (Dq.remove q (fun x -> x = 9));
+  Alcotest.(check (list int)) "rest intact" [ 1; 2; 4 ] (Dq.to_list q)
+
+let test_clear_empty () =
+  let q = Dq.create () in
+  Alcotest.(check bool) "empty" true (Dq.is_empty q);
+  Dq.push_back q 1;
+  Dq.clear q;
+  Alcotest.(check bool) "cleared" true (Dq.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Dq.pop_back q)
+
+let prop_deque_model =
+  (* Compare against a list model under random front/back operations. *)
+  QCheck.Test.make ~name:"deque matches list model" ~count:300
+    QCheck.(list (pair bool (pair bool small_nat)))
+    (fun ops ->
+      let q = Dq.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, (front, v)) ->
+          if is_push then
+            if front then begin
+              Dq.push_front q v;
+              model := v :: !model
+            end
+            else begin
+              Dq.push_back q v;
+              model := !model @ [ v ]
+            end
+          else if front then begin
+            let got = Dq.pop_front q in
+            let expect =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            if got <> expect then ok := false
+          end
+          else begin
+            let got = Dq.pop_back q in
+            let expect =
+              match List.rev !model with
+              | [] -> None
+              | x :: rest ->
+                  model := List.rev rest;
+                  Some x
+            in
+            if got <> expect then ok := false
+          end)
+        ops;
+      !ok && Dq.to_list q = !model)
+
+let suite =
+  [
+    Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "lifo" `Quick test_lifo;
+    Alcotest.test_case "steal pattern" `Quick test_steal_pattern;
+    Alcotest.test_case "push_front" `Quick test_push_front;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "clear/empty" `Quick test_clear_empty;
+    QCheck_alcotest.to_alcotest prop_deque_model;
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the real (executable, multicore) fiber runtime. *)
+
+let with_pool ?(domains = 2) ?preempt_interval f =
+  let pool = Fiber.create ~domains ?preempt_interval () in
+  Fun.protect ~finally:(fun () -> Fiber.shutdown pool) (fun () -> f pool)
+
+let test_run_returns () =
+  with_pool (fun pool ->
+      Alcotest.(check int) "result" 42 (Fiber.run pool (fun () -> 42)))
+
+let test_run_propagates_exception () =
+  with_pool (fun pool ->
+      Alcotest.check_raises "exn" Exit (fun () ->
+          Fiber.run pool (fun () -> raise Exit)))
+
+let test_spawn_await () =
+  with_pool (fun pool ->
+      let r =
+        Fiber.run pool (fun () ->
+            let p = Fiber.spawn (fun () -> 7 * 6) in
+            Fiber.await p)
+      in
+      Alcotest.(check int) "child result" 42 r)
+
+let test_await_failed_child () =
+  with_pool (fun pool ->
+      Alcotest.check_raises "child exn" Not_found (fun () ->
+          Fiber.run pool (fun () -> Fiber.await (Fiber.spawn (fun () -> raise Not_found)))))
+
+let test_many_fibers () =
+  with_pool ~domains:3 (fun pool ->
+      let total =
+        Fiber.run pool (fun () ->
+            let ps = List.init 200 (fun i -> Fiber.spawn (fun () -> i)) in
+            List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+      in
+      Alcotest.(check int) "sum 0..199" (199 * 200 / 2) total)
+
+let test_nested_spawn () =
+  with_pool (fun pool ->
+      let r =
+        Fiber.run pool (fun () ->
+            let p =
+              Fiber.spawn (fun () ->
+                  let q = Fiber.spawn (fun () -> 10) in
+                  Fiber.await q + 1)
+            in
+            Fiber.await p + 1)
+      in
+      Alcotest.(check int) "nested" 12 r)
+
+let test_yield_progress () =
+  with_pool ~domains:1 (fun pool ->
+      (* Single worker: a yielding producer and a consumer must interleave. *)
+      let r =
+        Fiber.run pool (fun () ->
+            let flag = Atomic.make false in
+            let setter = Fiber.spawn (fun () -> Atomic.set flag true) in
+            (* Yield until the other fiber has run. *)
+            while not (Atomic.get flag) do
+              Fiber.yield ()
+            done;
+            Fiber.await setter;
+            true)
+      in
+      Alcotest.(check bool) "interleaved" true r)
+
+let test_parallel_for_covers () =
+  with_pool ~domains:3 (fun pool ->
+      let hits = Array.make 1000 0 in
+      Fiber.run pool (fun () ->
+          Fiber.parallel_for 0 1000 (fun i -> hits.(i) <- hits.(i) + 1));
+      Array.iteri (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d" i h) hits)
+
+let test_parallel_speedup_runs () =
+  (* Not a timing assertion (CI noise), just that parallel fib works. *)
+  with_pool ~domains:3 (fun pool ->
+      let rec fib n =
+        if n < 12 then seq_fib n
+        else
+          let a = Fiber.spawn (fun () -> fib (n - 1)) in
+          let b = fib (n - 2) in
+          Fiber.await a + b
+      and seq_fib n = if n < 2 then n else seq_fib (n - 1) + seq_fib (n - 2) in
+      let r = Fiber.run pool (fun () -> fib 20) in
+      Alcotest.(check int) "fib 20" 6765 r)
+
+let test_preemption_ticker () =
+  with_pool ~domains:1 ~preempt_interval:0.005 (fun pool ->
+      (* Two greedy fibers calling [check] in their loops must interleave
+         even on a single worker. *)
+      let r =
+        Fiber.run pool (fun () ->
+            let progress = Atomic.make 0 in
+            let greedy _i () =
+              let t0 = Unix.gettimeofday () in
+              while Unix.gettimeofday () -. t0 < 0.1 do
+                Atomic.incr progress;
+                Fiber.check ()
+              done
+            in
+            let a = Fiber.spawn (greedy 0) in
+            let b = Fiber.spawn (greedy 1) in
+            Fiber.await a;
+            Fiber.await b;
+            true)
+      in
+      Alcotest.(check bool) "completed" true r;
+      Alcotest.(check bool) "preemptions happened" true (Fiber.preemptions pool > 0))
+
+let test_pool_reuse_across_runs () =
+  with_pool (fun pool ->
+      Alcotest.(check int) "first" 1 (Fiber.run pool (fun () -> 1));
+      Alcotest.(check int) "second" 2 (Fiber.run pool (fun () -> 2)))
+
+let test_shutdown_rejects_run () =
+  let pool = Fiber.create ~domains:1 () in
+  Fiber.shutdown pool;
+  Alcotest.check_raises "rejected" (Invalid_argument "Fiber.run: pool is shut down")
+    (fun () -> ignore (Fiber.run pool (fun () -> ())))
+
+let test_parallel_map () =
+  with_pool ~domains:3 (fun pool ->
+      let r = Fiber.run pool (fun () -> Fiber.parallel_map (fun x -> x * x) [ 1; 2; 3; 4 ]) in
+      Alcotest.(check (list int)) "squares in order" [ 1; 4; 9; 16 ] r)
+
+let test_deque_basics () =
+  let d = Fiber.Deque.create () in
+  Fiber.Deque.push d 1;
+  Fiber.Deque.push d 2;
+  Fiber.Deque.push d 3;
+  Alcotest.(check (option int)) "owner LIFO" (Some 3) (Fiber.Deque.pop d);
+  Alcotest.(check (option int)) "thief FIFO" (Some 1) (Fiber.Deque.steal d);
+  Alcotest.(check int) "len" 1 (Fiber.Deque.length d)
+
+let suite =
+  [
+    Alcotest.test_case "run returns" `Quick test_run_returns;
+    Alcotest.test_case "run propagates exception" `Quick test_run_propagates_exception;
+    Alcotest.test_case "spawn/await" `Quick test_spawn_await;
+    Alcotest.test_case "await failed child" `Quick test_await_failed_child;
+    Alcotest.test_case "many fibers" `Quick test_many_fibers;
+    Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+    Alcotest.test_case "yield progress (1 worker)" `Quick test_yield_progress;
+    Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers;
+    Alcotest.test_case "parallel fib" `Quick test_parallel_speedup_runs;
+    Alcotest.test_case "preemption ticker" `Quick test_preemption_ticker;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_runs;
+    Alcotest.test_case "shutdown rejects run" `Quick test_shutdown_rejects_run;
+    Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+    Alcotest.test_case "deque basics" `Quick test_deque_basics;
+  ]

@@ -1,0 +1,150 @@
+(* Fiber-level synchronization on the real multicore runtime. *)
+
+module Fsync = Fiber.Fsync
+
+let with_pool ?(domains = 3) f =
+  let pool = Fiber.create ~domains () in
+  Fun.protect ~finally:(fun () -> Fiber.shutdown pool) (fun () -> f pool)
+
+let test_mutex_counter () =
+  with_pool (fun pool ->
+      let m = Fsync.Mutex.create () in
+      let counter = ref 0 in
+      Fiber.run pool (fun () ->
+          let ps =
+            List.init 8 (fun _ ->
+                Fiber.spawn (fun () ->
+                    for _ = 1 to 500 do
+                      Fsync.Mutex.with_lock m (fun () -> incr counter)
+                    done))
+          in
+          List.iter Fiber.await ps);
+      Alcotest.(check int) "no lost updates" 4000 !counter)
+
+let test_mutex_trylock () =
+  with_pool ~domains:1 (fun pool ->
+      Fiber.run pool (fun () ->
+          let m = Fsync.Mutex.create () in
+          Alcotest.(check bool) "free" true (Fsync.Mutex.try_lock m);
+          Alcotest.(check bool) "held" false (Fsync.Mutex.try_lock m);
+          Fsync.Mutex.unlock m;
+          Alcotest.(check bool) "free again" true (Fsync.Mutex.try_lock m);
+          Fsync.Mutex.unlock m))
+
+let test_mutex_unlock_unlocked () =
+  with_pool ~domains:1 (fun pool ->
+      Fiber.run pool (fun () ->
+          let m = Fsync.Mutex.create () in
+          Alcotest.check_raises "invalid"
+            (Invalid_argument "Fsync.Mutex.unlock: not locked") (fun () ->
+              Fsync.Mutex.unlock m)))
+
+let test_semaphore_bound () =
+  with_pool (fun pool ->
+      let sem = Fsync.Semaphore.create 2 in
+      let active = Atomic.make 0 in
+      let peak = Atomic.make 0 in
+      Fiber.run pool (fun () ->
+          let ps =
+            List.init 10 (fun _ ->
+                Fiber.spawn (fun () ->
+                    Fsync.Semaphore.acquire sem;
+                    let a = Atomic.fetch_and_add active 1 + 1 in
+                    let rec bump () =
+                      let p = Atomic.get peak in
+                      if a > p && not (Atomic.compare_and_set peak p a) then bump ()
+                    in
+                    bump ();
+                    Fiber.yield ();
+                    ignore (Atomic.fetch_and_add active (-1));
+                    Fsync.Semaphore.release sem))
+          in
+          List.iter Fiber.await ps);
+      if Atomic.get peak > 2 then Alcotest.failf "peak %d > 2" (Atomic.get peak))
+
+let test_channel_spmc () =
+  with_pool (fun pool ->
+      let ch = Fsync.Channel.create () in
+      let total = Atomic.make 0 in
+      Fiber.run pool (fun () ->
+          let consumers =
+            List.init 4 (fun _ ->
+                Fiber.spawn (fun () ->
+                    for _ = 1 to 25 do
+                      ignore (Atomic.fetch_and_add total (Fsync.Channel.recv ch))
+                    done))
+          in
+          for i = 1 to 100 do
+            Fsync.Channel.send ch i
+          done;
+          List.iter Fiber.await consumers);
+      Alcotest.(check int) "all received once" 5050 (Atomic.get total);
+      Alcotest.(check int) "drained" 0 (Fsync.Channel.length ch))
+
+let test_channel_try_recv () =
+  with_pool ~domains:1 (fun pool ->
+      Fiber.run pool (fun () ->
+          let ch = Fsync.Channel.create () in
+          Alcotest.(check (option int)) "empty" None (Fsync.Channel.try_recv ch);
+          Fsync.Channel.send ch 5;
+          Alcotest.(check (option int)) "item" (Some 5) (Fsync.Channel.try_recv ch)))
+
+let test_barrier_phases () =
+  with_pool (fun pool ->
+      let n = 4 in
+      let b = Fsync.Barrier.create n in
+      let phase = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      Fiber.run pool (fun () ->
+          let ps =
+            List.init n (fun _ ->
+                Fiber.spawn (fun () ->
+                    for expected = 0 to 4 do
+                      (* Everyone must observe the same phase here. *)
+                      if Atomic.get phase <> expected then Atomic.incr errors;
+                      Fsync.Barrier.wait b;
+                      (* Exactly one CAS succeeds between the barriers. *)
+                      ignore (Atomic.compare_and_set phase expected (expected + 1));
+                      Fsync.Barrier.wait b
+                    done))
+          in
+          List.iter Fiber.await ps);
+      Alcotest.(check int) "no phase tearing" 0 (Atomic.get errors))
+
+let test_producer_consumer_pipeline () =
+  with_pool (fun pool ->
+      let stage1 = Fsync.Channel.create () in
+      let stage2 = Fsync.Channel.create () in
+      let result = Fiber.run pool (fun () ->
+          let squarer =
+            Fiber.spawn (fun () ->
+                for _ = 1 to 50 do
+                  Fsync.Channel.send stage2 (Fsync.Channel.recv stage1 * 2)
+                done)
+          in
+          let sum = Fiber.spawn (fun () ->
+              let acc = ref 0 in
+              for _ = 1 to 50 do
+                acc := !acc + Fsync.Channel.recv stage2
+              done;
+              !acc)
+          in
+          for i = 1 to 50 do
+            Fsync.Channel.send stage1 i
+          done;
+          Fiber.await squarer;
+          Fiber.await sum)
+      in
+      Alcotest.(check int) "pipeline sum" (2 * 50 * 51 / 2) result)
+
+let suite =
+  [
+    Alcotest.test_case "mutex protects counter" `Quick test_mutex_counter;
+    Alcotest.test_case "mutex try_lock" `Quick test_mutex_trylock;
+    Alcotest.test_case "mutex unlock unlocked" `Quick test_mutex_unlock_unlocked;
+    Alcotest.test_case "semaphore bounds concurrency" `Quick test_semaphore_bound;
+    Alcotest.test_case "channel SPMC" `Quick test_channel_spmc;
+    Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
+    Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
+    Alcotest.test_case "producer/consumer pipeline" `Quick test_producer_consumer_pipeline;
+  ]

@@ -1,0 +1,56 @@
+open Desim
+open Oskern
+open Experiments
+
+let test_occupancy_from_real_trace () =
+  let eng = Engine.create () in
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let k = Kernel.create ~trace:tr eng (Machine.with_cores Machine.skylake 2) in
+  ignore (Kernel.spawn k ~affinity:(Cpuset.of_list 2 [ 0 ]) ~name:"alpha" (fun klt ->
+      Kernel.compute k klt 0.01));
+  ignore (Kernel.spawn k ~affinity:(Cpuset.of_list 2 [ 1 ]) ~name:"beta" (fun klt ->
+      Kernel.compute k klt 0.02));
+  Engine.run eng;
+  let g = Gantt.of_trace ~cores:2 tr in
+  Alcotest.(check (option string)) "alpha on core0" (Some "alpha")
+    (Gantt.occupant g ~core:0 ~time:0.005);
+  Alcotest.(check (option string)) "beta on core1" (Some "beta")
+    (Gantt.occupant g ~core:1 ~time:0.015);
+  Alcotest.(check (option string)) "core0 idle after exit" None
+    (Gantt.occupant g ~core:0 ~time:0.015);
+  let out = Gantt.render ~t0:0.0 ~t1:0.02 g in
+  Alcotest.(check bool) "legend alpha" true (Astring_contains.contains out "alpha");
+  Alcotest.(check bool) "legend beta" true (Astring_contains.contains out "beta");
+  Alcotest.(check bool) "idle dots" true (String.contains out '.')
+
+let test_timeslice_alternation_visible () =
+  let eng = Engine.create () in
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let k = Kernel.create ~trace:tr eng (Machine.with_cores Machine.skylake 1) in
+  for i = 0 to 1 do
+    ignore (Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun klt -> Kernel.compute k klt 0.03))
+  done;
+  Engine.run eng;
+  let g = Gantt.of_trace ~cores:1 tr in
+  (* Both threads appear on core 0 over the run (CFS alternation). *)
+  let seen = Hashtbl.create 4 in
+  for b = 0 to 99 do
+    match Gantt.occupant g ~core:0 ~time:(0.0006 *. float_of_int b) with
+    | Some n -> Hashtbl.replace seen n ()
+    | None -> ()
+  done;
+  Alcotest.(check int) "both threads visible" 2 (Hashtbl.length seen)
+
+let test_render_bad_window () =
+  let g = Gantt.of_trace ~cores:1 (Trace.create ()) in
+  Alcotest.check_raises "empty window" (Invalid_argument "Gantt.render: empty window")
+    (fun () -> ignore (Gantt.render ~t0:1.0 ~t1:1.0 g))
+
+let suite =
+  [
+    Alcotest.test_case "occupancy from trace" `Quick test_occupancy_from_real_trace;
+    Alcotest.test_case "timeslice alternation visible" `Quick test_timeslice_alternation_visible;
+    Alcotest.test_case "bad window rejected" `Quick test_render_bad_window;
+  ]

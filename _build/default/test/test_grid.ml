@@ -1,0 +1,98 @@
+open Multigrid
+
+let pi = 4.0 *. atan 1.0
+
+(* -u'' = f with u = sin(pi x): f = pi^2 sin(pi x). *)
+let setup n_finest levels =
+  let h = Grid.make_hierarchy ~levels ~n_finest in
+  let err =
+    Grid.set_problem h
+      (fun x -> pi *. pi *. sin (pi *. x))
+      (fun x -> sin (pi *. x))
+  in
+  (h, err)
+
+let test_direct_solver_exact () =
+  let h, err = setup 63 1 in
+  Grid.solve_direct (Grid.finest h);
+  (* Second-order discretization error only. *)
+  let e = err () in
+  if e > 1e-3 then Alcotest.failf "direct solve error %g" e
+
+let test_smoother_reduces_residual () =
+  let h, _ = setup 63 1 in
+  let lvl = Grid.finest h in
+  let r0 = Grid.residual lvl in
+  Grid.smooth lvl ~sweeps:50;
+  let r1 = Grid.residual lvl in
+  if r1 >= r0 then Alcotest.failf "smoother did not reduce residual: %g -> %g" r0 r1
+
+let test_v_cycles_converge () =
+  let h, _ = setup 127 5 in
+  let lvl = Grid.finest h in
+  let r0 = Grid.residual lvl in
+  for _ = 1 to 8 do
+    Grid.v_cycle h ~sweeps:2 ()
+  done;
+  let r1 = Grid.residual lvl in
+  if r1 > r0 *. 1e-6 then Alcotest.failf "V-cycles stalled: %g -> %g" r0 r1
+
+let test_v_cycle_rate () =
+  (* Multigrid contraction: each V(2,2) cycle should shrink the residual
+     by a healthy constant factor. *)
+  let h, _ = setup 127 5 in
+  let lvl = Grid.finest h in
+  Grid.v_cycle h ~sweeps:2 ();
+  let r1 = Grid.residual lvl in
+  Grid.v_cycle h ~sweeps:2 ();
+  let r2 = Grid.residual lvl in
+  if r2 > 0.35 *. r1 then Alcotest.failf "poor contraction: %g -> %g" r1 r2
+
+let test_fmg_accuracy () =
+  let h, err = setup 255 7 in
+  ignore (Grid.fmg h ~sweeps:2);
+  (* FMG should reach discretization-level accuracy (O(h^2) ~ 1.5e-5). *)
+  let e = err () in
+  if e > 1e-4 then Alcotest.failf "FMG error %g" e
+
+let test_fmg_beats_smoothing () =
+  let h1, err1 = setup 127 6 in
+  ignore (Grid.fmg h1 ~sweeps:2);
+  let h2, err2 = setup 127 1 in
+  Grid.smooth (Grid.finest h2) ~sweeps:100;
+  if err1 () >= err2 () then Alcotest.fail "FMG no better than plain smoothing"
+
+let test_profile_total_and_structure () =
+  let ps = Fmg_profile.phases ~levels:7 ~total_core_seconds:25.0 in
+  Alcotest.(check (float 1e-6)) "total scaled" 25.0 (Fmg_profile.total_work ps);
+  Alcotest.(check bool) "many phases" true (Fmg_profile.count ps > 50);
+  (* Finest-level phases dominate the work. *)
+  let finest_work =
+    List.fold_left
+      (fun acc (p : Fmg_profile.phase) -> if p.level = 0 then acc +. p.work else acc)
+      0.0 ps
+  in
+  if finest_work < 0.7 *. 25.0 then Alcotest.failf "finest work only %g" finest_work;
+  List.iter
+    (fun (p : Fmg_profile.phase) ->
+      if p.work <= 0.0 then Alcotest.fail "non-positive phase work")
+    ps
+
+let test_profile_levels_span_orders () =
+  let ps = Fmg_profile.phases ~levels:7 ~total_core_seconds:25.0 in
+  let works = List.map (fun (p : Fmg_profile.phase) -> p.work) ps in
+  let lo = List.fold_left Float.min infinity works in
+  let hi = List.fold_left Float.max 0.0 works in
+  if hi /. lo < 1000.0 then Alcotest.failf "phase sizes too uniform: %g..%g" lo hi
+
+let suite =
+  [
+    Alcotest.test_case "direct solver exact" `Quick test_direct_solver_exact;
+    Alcotest.test_case "smoother reduces residual" `Quick test_smoother_reduces_residual;
+    Alcotest.test_case "V-cycles converge" `Quick test_v_cycles_converge;
+    Alcotest.test_case "V-cycle contraction rate" `Quick test_v_cycle_rate;
+    Alcotest.test_case "FMG reaches discretization accuracy" `Quick test_fmg_accuracy;
+    Alcotest.test_case "FMG beats smoothing" `Quick test_fmg_beats_smoothing;
+    Alcotest.test_case "phase profile total/structure" `Quick test_profile_total_and_structure;
+    Alcotest.test_case "phase sizes span orders" `Quick test_profile_levels_span_orders;
+  ]

@@ -1,0 +1,88 @@
+open Multigrid
+
+let pi = 4.0 *. atan 1.0
+
+(* -lap u = f with u = sin(pi x) sin(pi y) sin(pi z), f = 3 pi^2 u. *)
+let u_exact x y z = sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z)
+
+let f_rhs x y z = 3.0 *. pi *. pi *. u_exact x y z
+
+let setup n levels =
+  let h = Grid3d.make ~levels ~n_finest:n in
+  Grid3d.set_problem h f_rhs;
+  h
+
+let test_smoother_reduces () =
+  let h = setup 15 1 in
+  let lvl = Grid3d.finest h in
+  let r0 = Grid3d.residual lvl in
+  Grid3d.smooth lvl ~sweeps:30;
+  let r1 = Grid3d.residual lvl in
+  if r1 >= r0 then Alcotest.failf "no smoothing: %g -> %g" r0 r1
+
+let test_v_cycle_contracts () =
+  let h = setup 31 4 in
+  let r0 = Grid3d.residual (Grid3d.finest h) in
+  Grid3d.v_cycle h ~sweeps:2;
+  let r1 = Grid3d.residual (Grid3d.finest h) in
+  Grid3d.v_cycle h ~sweeps:2;
+  let r2 = Grid3d.residual (Grid3d.finest h) in
+  (* Weighted-Jacobi V(2,2) in 3D contracts by ~0.3-0.4 per cycle. *)
+  if r1 > 0.45 *. r0 then Alcotest.failf "first cycle weak: %g -> %g" r0 r1;
+  if r2 > 0.45 *. r1 then Alcotest.failf "second cycle weak: %g -> %g" r1 r2
+
+let test_solve_converges () =
+  let h = setup 31 4 in
+  let cycles, r = Grid3d.solve h ~sweeps:2 ~tol:1e-6 ~max_cycles:30 in
+  if r > 1e-6 then Alcotest.failf "did not converge: %g after %d cycles" r cycles;
+  if cycles > 15 then Alcotest.failf "too many cycles: %d" cycles
+
+let test_solution_accuracy () =
+  let h = setup 31 4 in
+  ignore (Grid3d.solve h ~sweeps:2 ~tol:1e-8 ~max_cycles:40);
+  (* O(h^2) discretization: h = 1/32 -> error ~ 1e-3. *)
+  let e = Grid3d.error_vs h u_exact in
+  if e > 5e-3 then Alcotest.failf "solution error %g" e
+
+let test_multigrid_beats_smoothing () =
+  (* Same total work comparison is tricky; assert V-cycles reach in a few
+     cycles what pure smoothing cannot in many sweeps. *)
+  let hv = setup 31 4 in
+  ignore (Grid3d.solve hv ~sweeps:2 ~tol:0.0 ~max_cycles:6 : int * float);
+  let rv = Grid3d.residual (Grid3d.finest hv) in
+  let hs = setup 31 1 in
+  Grid3d.smooth (Grid3d.finest hs) ~sweeps:100;
+  let rs = Grid3d.residual (Grid3d.finest hs) in
+  if rv >= rs then Alcotest.failf "V-cycles (%g) no better than smoothing (%g)" rv rs
+
+let test_invalid_sizes () =
+  Alcotest.check_raises "even n" (Invalid_argument "Grid3d.make: n_finest must be 2^k - 1")
+    (fun () -> ignore (Grid3d.make ~levels:2 ~n_finest:16));
+  Alcotest.check_raises "too many levels" (Invalid_argument "Grid3d.make: too many levels")
+    (fun () -> ignore (Grid3d.make ~levels:6 ~n_finest:15))
+
+let test_zero_rhs_zero_solution () =
+  let h = Grid3d.make ~levels:3 ~n_finest:15 in
+  ignore (Grid3d.solve h ~sweeps:2 ~tol:1e-12 ~max_cycles:5);
+  let lvl = Grid3d.finest h in
+  let n = Grid3d.level_n lvl in
+  let maxu = ref 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      for k = 1 to n do
+        maxu := Float.max !maxu (Float.abs (Grid3d.get_u lvl i j k))
+      done
+    done
+  done;
+  if !maxu > 1e-12 then Alcotest.failf "nonzero solution for zero rhs: %g" !maxu
+
+let suite =
+  [
+    Alcotest.test_case "smoother reduces residual" `Quick test_smoother_reduces;
+    Alcotest.test_case "V-cycle contraction" `Quick test_v_cycle_contracts;
+    Alcotest.test_case "solve converges" `Quick test_solve_converges;
+    Alcotest.test_case "solution accuracy O(h^2)" `Quick test_solution_accuracy;
+    Alcotest.test_case "multigrid beats smoothing" `Quick test_multigrid_beats_smoothing;
+    Alcotest.test_case "invalid sizes rejected" `Quick test_invalid_sizes;
+    Alcotest.test_case "zero rhs, zero solution" `Quick test_zero_rhs_zero_solution;
+  ]

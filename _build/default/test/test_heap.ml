@@ -1,0 +1,75 @@
+open Desim
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "peek none" true (Heap.peek_min h = None);
+  Alcotest.check_raises "pop raises" Not_found (fun () -> ignore (Heap.pop_min h))
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = List.init 5 (fun _ -> fst (Heap.pop_min h)) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] out
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ "a"; "b"; "c" ];
+  Heap.push h 0.5 "first";
+  let out = List.init 4 (fun _ -> snd (Heap.pop_min h)) in
+  Alcotest.(check (list string)) "tie order is FIFO" [ "first"; "a"; "b"; "c" ] out
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h 2.0 2;
+  Heap.push h 1.0 1;
+  Alcotest.(check int) "min" 1 (snd (Heap.pop_min h));
+  Heap.push h 0.5 0;
+  Alcotest.(check int) "new min" 0 (snd (Heap.pop_min h));
+  Alcotest.(check int) "last" 2 (snd (Heap.pop_min h))
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_to_list () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k ()) [ 3.0; 1.0; 2.0 ];
+  let keys = List.sort compare (List.map fst (Heap.to_list h)) in
+  Alcotest.(check (list (float 0.0))) "all present" [ 1.0; 2.0; 3.0 ] keys
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap sorts any float list" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let h = Heap.create () in
+      List.iter (fun f -> Heap.push h f ()) floats;
+      let popped = List.init (List.length floats) (fun _ -> fst (Heap.pop_min h)) in
+      popped = List.sort compare floats)
+
+let prop_stable =
+  QCheck.Test.make ~name:"equal keys pop FIFO" ~count:100
+    QCheck.(small_nat)
+    (fun n ->
+      let n = n + 1 in
+      let h = Heap.create () in
+      for i = 0 to n - 1 do
+        Heap.push h 1.0 i
+      done;
+      let popped = List.init n (fun _ -> snd (Heap.pop_min h)) in
+      popped = List.init n Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop in key order" `Quick test_ordering;
+    Alcotest.test_case "FIFO on equal keys" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_list" `Quick test_to_list;
+    QCheck_alcotest.to_alcotest prop_heap_sort;
+    QCheck_alcotest.to_alcotest prop_stable;
+  ]

@@ -1,0 +1,103 @@
+open Moldyn
+
+let make ?(cells = 3) () = Lj.create (Desim.Rng.make 42) ~cells_per_side:cells ()
+
+let test_atom_count () =
+  let md = make ~cells:3 () in
+  Alcotest.(check int) "4 per fcc cell" (4 * 27) (Lj.atoms md)
+
+let test_initial_momentum_zero () =
+  let md = make () in
+  if Lj.momentum md > 1e-9 then Alcotest.failf "net momentum %g" (Lj.momentum md)
+
+let test_momentum_conserved () =
+  let md = make () in
+  for _ = 1 to 20 do
+    Lj.step md ~dt:0.002
+  done;
+  if Lj.momentum md > 1e-6 then Alcotest.failf "momentum drift %g" (Lj.momentum md)
+
+let test_energy_drift_small () =
+  let md = make () in
+  (* Equilibrate the lattice a little first. *)
+  for _ = 1 to 10 do
+    Lj.step md ~dt:0.002
+  done;
+  let e0 = Lj.total_energy md in
+  for _ = 1 to 100 do
+    Lj.step md ~dt:0.002
+  done;
+  let e1 = Lj.total_energy md in
+  let rel = Float.abs (e1 -. e0) /. Float.abs e0 in
+  if rel > 0.02 then Alcotest.failf "energy drift %.3f%% (%g -> %g)" (rel *. 100.0) e0 e1
+
+let test_forces_finite () =
+  let md = make () in
+  for _ = 1 to 5 do
+    Lj.step md ~dt:0.002
+  done;
+  let f = Lj.max_force md in
+  if not (Float.is_finite f) then Alcotest.fail "non-finite force";
+  if f > 1e4 then Alcotest.failf "suspicious force %g" f
+
+let test_temperature_positive () =
+  let md = make () in
+  Alcotest.(check bool) "T > 0" true (Lj.temperature md > 0.0)
+
+let test_lattice_potential_negative () =
+  (* A dense LJ lattice is bound: potential energy below zero. *)
+  let md = make () in
+  if Lj.potential_energy md >= 0.0 then
+    Alcotest.failf "unbound lattice: PE %g" (Lj.potential_energy md)
+
+let test_snapshot_independent () =
+  let md = make () in
+  let x, _, _ = Lj.snapshot md in
+  let x0 = x.(0) in
+  for _ = 1 to 5 do
+    Lj.step md ~dt:0.002
+  done;
+  Alcotest.(check (float 0.0)) "snapshot unchanged by stepping" x0 x.(0)
+
+let test_rdf_liquid_structure () =
+  let md = make ~cells:3 () in
+  for _ = 1 to 20 do
+    Lj.step md ~dt:0.002
+  done;
+  (* r_max must stay below box/2 for minimum-image distances. *)
+  let r_max = Lj.box md /. 2.2 in
+  let bins = 32 in
+  let g = Lj.rdf md ~bins ~r_max (Lj.snapshot md) in
+  (* Excluded volume: no pairs well inside the core (r ~ 0.25 sigma). *)
+  Alcotest.(check (float 0.0)) "g(small r) = 0" 0.0 g.(2);
+  (* First coordination shell peaks well above 1. *)
+  let peak = Array.fold_left Float.max 0.0 g in
+  if peak < 1.5 then Alcotest.failf "no liquid structure: peak g = %f" peak;
+  (* Large-r tail approaches the ideal-gas value 1 (noisy: 108 atoms). *)
+  let tail = (g.(bins - 3) +. g.(bins - 2)) /. 2.0 in
+  if tail < 0.5 || tail > 1.6 then Alcotest.failf "tail g = %f" tail
+
+let test_speed_histogram_total () =
+  let md = make () in
+  let h = Lj.speed_histogram md ~bins:16 ~v_max:10.0 in
+  Alcotest.(check int) "sums to atom count" (Lj.atoms md) (Array.fold_left ( + ) 0 h)
+
+let test_rdf_invalid () =
+  let md = make () in
+  Alcotest.check_raises "bad bins" (Invalid_argument "Lj.rdf: bad parameters") (fun () ->
+      ignore (Lj.rdf md ~bins:0 ~r_max:1.0 (Lj.snapshot md)))
+
+let suite =
+  [
+    Alcotest.test_case "atom count" `Quick test_atom_count;
+    Alcotest.test_case "initial momentum zero" `Quick test_initial_momentum_zero;
+    Alcotest.test_case "momentum conserved" `Quick test_momentum_conserved;
+    Alcotest.test_case "energy drift small" `Quick test_energy_drift_small;
+    Alcotest.test_case "forces finite" `Quick test_forces_finite;
+    Alcotest.test_case "temperature positive" `Quick test_temperature_positive;
+    Alcotest.test_case "lattice is bound" `Quick test_lattice_potential_negative;
+    Alcotest.test_case "snapshot is a copy" `Quick test_snapshot_independent;
+    Alcotest.test_case "rdf shows liquid structure" `Quick test_rdf_liquid_structure;
+    Alcotest.test_case "speed histogram total" `Quick test_speed_histogram_total;
+    Alcotest.test_case "rdf invalid args" `Quick test_rdf_invalid;
+  ]

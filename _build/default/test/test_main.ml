@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "preempt"
+    [
+      ("heap", Test_heap.suite);
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("engine", Test_engine.suite);
+      ("sync", Test_sync.suite);
+      ("resource", Test_resource.suite);
+      ("cpuset", Test_cpuset.suite);
+      ("kernel", Test_kernel.suite);
+      ("kernel-edge", Test_kernel_edge.suite);
+      ("dq", Test_dq.suite);
+      ("runtime", Test_runtime.suite);
+      ("schedulers", Test_schedulers.suite);
+      ("omp", Test_omp.suite);
+      ("matrix", Test_matrix.suite);
+      ("tiled", Test_tiled.suite);
+      ("lu", Test_lu.suite);
+      ("multigrid", Test_grid.suite);
+      ("multigrid-3d", Test_grid3d.suite);
+      ("lj", Test_lj.suite);
+      ("workloads", Test_workloads.suite);
+      ("fiber", Test_fiber.suite);
+      ("experiments", Test_experiments.suite);
+      ("usync", Test_usync.suite);
+      ("rt-policy", Test_rt_policy.suite);
+      ("chart", Test_chart.suite);
+      ("gantt", Test_gantt.suite);
+      ("fsync", Test_fsync.suite);
+      ("misc", Test_misc.suite);
+      ("stress", Test_stress.suite);
+      ("abt", Test_abt.suite);
+      ("syscalls", Test_syscalls.suite);
+      ("api-surface", Test_api_surface.suite);
+    ]

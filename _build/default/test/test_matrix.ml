@@ -1,0 +1,95 @@
+open Linalg
+
+let rng () = Desim.Rng.make 1234
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %g vs %g" msg a b
+
+let test_identity_matmul () =
+  let r = rng () in
+  let a = Matrix.random_spd r 8 in
+  let i = Matrix.identity 8 in
+  let ai = Matrix.matmul a i in
+  check_close "A*I = A" 1e-12 0.0 (Matrix.norm (Matrix.sub a ai))
+
+let test_transpose_involution () =
+  let r = rng () in
+  let a = Matrix.random_spd r 6 in
+  let att = Matrix.transpose (Matrix.transpose a) in
+  check_close "transpose^2 = id" 0.0 0.0 (Matrix.norm (Matrix.sub a att))
+
+let test_spd_symmetric () =
+  let r = rng () in
+  let a = Matrix.random_spd r 10 in
+  check_close "symmetric" 1e-9 0.0 (Matrix.norm (Matrix.sub a (Matrix.transpose a)))
+
+let test_cholesky_reconstructs () =
+  let r = rng () in
+  let a = Matrix.random_spd r 12 in
+  let l = Matrix.cholesky a in
+  let llt = Matrix.matmul l (Matrix.transpose l) in
+  let rel = Matrix.norm (Matrix.sub a llt) /. Matrix.norm a in
+  if rel > 1e-10 then Alcotest.failf "reconstruction error %g" rel
+
+let test_potrf_rejects_non_spd () =
+  let m = Matrix.create 3 in
+  Matrix.set m 0 0 (-1.0);
+  Alcotest.check_raises "non-spd" (Failure "Matrix.potrf: not positive definite")
+    (fun () -> Matrix.potrf m)
+
+let test_trsm_solves () =
+  let r = rng () in
+  let a = Matrix.random_spd r 7 in
+  let l = Matrix.cholesky a in
+  (* Pick B, solve X·Lᵀ = B, check X·Lᵀ = B. *)
+  let b = Matrix.random_spd r 7 in
+  let x = Matrix.copy b in
+  Matrix.trsm l x;
+  let back = Matrix.matmul x (Matrix.transpose l) in
+  let rel = Matrix.norm (Matrix.sub b back) /. Matrix.norm b in
+  if rel > 1e-10 then Alcotest.failf "trsm error %g" rel
+
+let test_syrk_gemm () =
+  let r = rng () in
+  let a = Matrix.random_spd r 5 in
+  let b = Matrix.random_spd r 5 in
+  let c0 = Matrix.random_spd r 5 in
+  (* syrk: c - a·aᵀ *)
+  let c = Matrix.copy c0 in
+  Matrix.syrk a c;
+  let expect = Matrix.sub c0 (Matrix.matmul a (Matrix.transpose a)) in
+  check_close "syrk" 1e-9 0.0 (Matrix.norm (Matrix.sub c expect));
+  (* gemm: c - a·bᵀ *)
+  let c = Matrix.copy c0 in
+  Matrix.gemm a b c;
+  let expect = Matrix.sub c0 (Matrix.matmul a (Matrix.transpose b)) in
+  check_close "gemm" 1e-9 0.0 (Matrix.norm (Matrix.sub c expect))
+
+let test_flop_counts () =
+  check_close "gemm flops" 0.0 (Matrix.flops_gemm 10) 2000.0;
+  check_close "trsm flops" 0.0 (Matrix.flops_trsm 10) 1000.0;
+  Alcotest.(check bool) "potrf cheapest" true (Matrix.flops_potrf 10 < Matrix.flops_trsm 10)
+
+let prop_cholesky_any_seed =
+  QCheck.Test.make ~name:"cholesky reconstructs for random SPD" ~count:25
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, dim) ->
+      let dim = 2 + (dim mod 10) in
+      let r = Desim.Rng.make (seed + 1) in
+      let a = Matrix.random_spd r dim in
+      let l = Matrix.cholesky a in
+      let llt = Matrix.matmul l (Matrix.transpose l) in
+      Matrix.norm (Matrix.sub a llt) /. Matrix.norm a < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "A*I = A" `Quick test_identity_matmul;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "random_spd symmetric" `Quick test_spd_symmetric;
+    Alcotest.test_case "cholesky reconstructs" `Quick test_cholesky_reconstructs;
+    Alcotest.test_case "potrf rejects non-SPD" `Quick test_potrf_rejects_non_spd;
+    Alcotest.test_case "trsm solves" `Quick test_trsm_solves;
+    Alcotest.test_case "syrk and gemm" `Quick test_syrk_gemm;
+    Alcotest.test_case "flop counts" `Quick test_flop_counts;
+    QCheck_alcotest.to_alcotest prop_cholesky_any_seed;
+  ]

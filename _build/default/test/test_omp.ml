@@ -1,0 +1,180 @@
+open Desim
+open Oskern
+open Ompmodel
+
+let make ?(cores = 4) ?(blocktime = 0.0) ?(bind = false) () =
+  let eng = Engine.create () in
+  let k = Kernel.create eng (Machine.with_cores Machine.skylake cores) in
+  let omp = Omp.create k ~blocktime ~bind () in
+  (eng, k, omp)
+
+let run_main k omp f =
+  ignore
+    (Kernel.spawn k ~name:"main" (fun klt ->
+         f klt;
+         Omp.shutdown omp))
+
+let test_parallel_runs_all () =
+  let eng, k, omp = make () in
+  let ran = Array.make 4 false in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun tid klt ->
+          Kernel.compute k klt 1e-3;
+          ran.(tid) <- true));
+  Engine.run eng;
+  Array.iteri (fun i r -> if not r then Alcotest.failf "tid %d did not run" i) ran
+
+let test_parallel_is_parallel () =
+  let eng, k, omp = make ~cores:4 () in
+  let t_end = ref 0.0 in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 0.01);
+      t_end := Kernel.now k);
+  Engine.run eng;
+  (* 40 ms of work on 4 cores: ~10 ms wall. *)
+  if !t_end > 0.013 then Alcotest.failf "region took %f" !t_end
+
+let test_implicit_barrier () =
+  let eng, k, omp = make () in
+  let after_region = ref 0.0 in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun tid klt ->
+          Kernel.compute k klt (float_of_int (tid + 1) *. 1e-3));
+      after_region := Kernel.now k);
+  Engine.run eng;
+  (* Region ends only when the slowest thread (4 ms) is done. *)
+  if !after_region < 0.004 then Alcotest.failf "no barrier: %f" !after_region
+
+let test_hot_team_reuse () =
+  let eng, k, omp = make () in
+  run_main k omp (fun master ->
+      for _ = 1 to 5 do
+        Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-4)
+      done);
+  Engine.run eng;
+  (* 3 extra threads for the team, created once. *)
+  Alcotest.(check int) "hot team: 3 threads total" 3 (Omp.team_threads omp)
+
+let test_shrinking_region () =
+  let eng, k, omp = make () in
+  let count = ref 0 in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-4);
+      Omp.parallel omp ~master ~nthreads:2 (fun _ klt ->
+          Kernel.compute k klt 1e-4;
+          incr count);
+      (* Extra members idle but the team still works. *)
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-4));
+  Engine.run eng;
+  Alcotest.(check int) "only 2 ran in small region" 2 !count
+
+let test_nested_teams () =
+  let eng, k, omp = make ~cores:4 () in
+  let leaf_runs = ref 0 in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:2 (fun _tid klt ->
+          Omp.parallel omp ~master:klt ~nthreads:2 (fun _ inner ->
+              Kernel.compute k inner 1e-3;
+              incr leaf_runs)));
+  Engine.run eng;
+  Alcotest.(check int) "2x2 nested" 4 !leaf_runs
+
+let test_parallel_for_coverage () =
+  let eng, k, omp = make () in
+  let hits = Array.make 100 0 in
+  run_main k omp (fun master ->
+      Omp.parallel_for omp ~master ~nthreads:4 ~lo:0 ~hi:100 (fun klt lo hi ->
+          Kernel.compute k klt 1e-5;
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done));
+  Engine.run eng;
+  Array.iteri (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h) hits
+
+let test_blocktime_spin_vs_sleep () =
+  (* With blocktime=0 team members sleep between regions (no cpu);
+     with a large blocktime they spin (cpu burned). *)
+  let cpu_with blocktime =
+    let eng, k, omp = make ~cores:4 ~blocktime () in
+    run_main k omp (fun master ->
+        Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-3);
+        (* idle gap before next region *)
+        Kernel.sleep k master 0.02;
+        Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-3));
+    Engine.run eng;
+    Kernel.total_busy_time k
+  in
+  let sleeping = cpu_with 0.0 in
+  let spinning = cpu_with 0.5 in
+  if spinning < sleeping +. 0.03 then
+    Alcotest.failf "spinning %f vs sleeping %f" spinning sleeping
+
+let test_taskset_packing () =
+  let eng, k, omp = make ~cores:4 () in
+  let t_end = ref 0.0 in
+  run_main k omp (fun master ->
+      (* Warm the team, then pack everything onto core 0. *)
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-4);
+      let mask = Cpuset.of_list 4 [ 0 ] in
+      Omp.set_affinity_all omp mask;
+      Kernel.set_affinity k master mask;
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 5e-3);
+      t_end := Kernel.now k);
+  Engine.run eng;
+  (* 20 ms of work forced onto one core: at least ~20 ms wall. *)
+  if !t_end < 0.02 then Alcotest.failf "packing ignored: %f" !t_end
+
+let test_master_participates () =
+  let eng, k, omp = make () in
+  let master_tid_ran = ref false in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun tid klt ->
+          ignore klt;
+          if tid = 0 then master_tid_ran := true));
+  Engine.run eng;
+  Alcotest.(check bool) "tid 0 is master" true !master_tid_ran
+
+(* Property: any random sequence of region sizes executes each region
+   with exactly its requested thread count, reusing hot-team threads. *)
+let prop_random_region_sequences =
+  QCheck.Test.make ~name:"random region sequences execute exactly" ~count:25
+    QCheck.(list_of_size Gen.(1 -- 8) (int_range 1 6))
+    (fun sizes ->
+      let eng, k, omp = make ~cores:6 () in
+      let counts = ref [] in
+      run_main k omp (fun master ->
+          List.iter
+            (fun n ->
+              let c = ref 0 in
+              Omp.parallel omp ~master ~nthreads:n (fun _tid klt ->
+                  Kernel.compute k klt 1e-5;
+                  incr c);
+              counts := !c :: !counts)
+            sizes);
+      Engine.run eng;
+      (* Threads created never exceed the max region size - 1. *)
+      List.rev !counts = sizes
+      && Omp.team_threads omp <= List.fold_left Stdlib.max 1 sizes - 1 + 1)
+
+let test_team_klts_listed () =
+  let eng, k, omp = make () in
+  run_main k omp (fun master ->
+      Omp.parallel omp ~master ~nthreads:4 (fun _ klt -> Kernel.compute k klt 1e-4));
+  Engine.run eng;
+  Alcotest.(check int) "3 members listed" 3 (List.length (Omp.team_klts omp))
+
+let suite =
+  [
+    Alcotest.test_case "parallel runs all tids" `Quick test_parallel_runs_all;
+    Alcotest.test_case "parallel is parallel" `Quick test_parallel_is_parallel;
+    Alcotest.test_case "implicit barrier" `Quick test_implicit_barrier;
+    Alcotest.test_case "hot team reuse" `Quick test_hot_team_reuse;
+    Alcotest.test_case "shrinking region" `Quick test_shrinking_region;
+    Alcotest.test_case "nested teams" `Quick test_nested_teams;
+    Alcotest.test_case "parallel_for coverage" `Quick test_parallel_for_coverage;
+    Alcotest.test_case "blocktime spin vs sleep" `Quick test_blocktime_spin_vs_sleep;
+    Alcotest.test_case "taskset packing" `Quick test_taskset_packing;
+    Alcotest.test_case "master participates" `Quick test_master_participates;
+    Alcotest.test_case "team_klts listed" `Quick test_team_klts_listed;
+    QCheck_alcotest.to_alcotest prop_random_region_sequences;
+  ]

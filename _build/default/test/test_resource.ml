@@ -1,0 +1,92 @@
+open Desim
+
+let test_basic_capacity () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:2 () in
+  let active = ref 0 and peak = ref 0 in
+  for i = 0 to 5 do
+    Engine.spawn eng (Printf.sprintf "c%d" i) (fun () ->
+        Resource.use res (fun () ->
+            incr active;
+            if !active > !peak then peak := !active;
+            Engine.delay 1.0;
+            decr active))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "peak bounded by capacity" 2 !peak;
+  Alcotest.(check (float 0.0)) "makespan = 3 rounds" 3.0 (Engine.now eng)
+
+let test_wait_stats () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 () in
+  for i = 0 to 2 do
+    Engine.spawn eng (Printf.sprintf "c%d" i) (fun () ->
+        Resource.use res (fun () -> Engine.delay 1.0))
+  done;
+  Engine.run eng;
+  let s = Resource.wait_stats res in
+  Alcotest.(check int) "3 samples" 3 (Stats.count s);
+  (* Waits are 0, 1, 2 seconds. *)
+  Alcotest.(check (float 1e-9)) "mean wait" 1.0 (Stats.mean s)
+
+let test_utilization () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:2 () in
+  Engine.spawn eng "lone" (fun () ->
+      Resource.use res (fun () -> Engine.delay 1.0);
+      Engine.delay 1.0);
+  Engine.run eng;
+  (* 1 slot-second busy over capacity 2 x 2s elapsed = 0.25. *)
+  let u = Resource.utilization res in
+  if Float.abs (u -. 0.25) > 1e-9 then Alcotest.failf "utilization %f" u
+
+let test_release_without_hold () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 () in
+  Alcotest.check_raises "bad release" (Invalid_argument "Resource.release: nothing held")
+    (fun () -> Resource.release res)
+
+let test_queue_length () =
+  let eng = Engine.create () in
+  let res = Resource.create eng ~capacity:1 () in
+  for i = 0 to 2 do
+    Engine.spawn eng (Printf.sprintf "c%d" i) (fun () ->
+        Resource.use res (fun () -> Engine.delay 1.0))
+  done;
+  Engine.run ~until:0.5 eng;
+  Alcotest.(check int) "two queued" 2 (Resource.queue_length res);
+  Alcotest.(check int) "one holder" 1 (Resource.in_use res);
+  Engine.run eng
+
+(* M/D/1 sanity: Poisson arrivals (rate l), deterministic service (s):
+   Pollaczek–Khinchine mean wait = l s^2 / (2 (1 - l s)). *)
+let test_md1_queueing_theory () =
+  let eng = Engine.create ~seed:7 () in
+  let res = Resource.create eng ~capacity:1 () in
+  let lambda = 0.5 and service = 1.0 in
+  let rho = lambda *. service in
+  let expect_wait = lambda *. service *. service /. (2.0 *. (1.0 -. rho)) in
+  let rng = Rng.split (Engine.rng eng) in
+  Engine.spawn eng "arrivals" (fun () ->
+      for i = 0 to 4999 do
+        Engine.delay (Rng.exponential rng ~mean:(1.0 /. lambda));
+        Engine.spawn eng (Printf.sprintf "job%d" i) (fun () ->
+            Resource.use res (fun () -> Engine.delay service))
+      done);
+  Engine.run eng;
+  let measured = Stats.mean (Resource.wait_stats res) in
+  (* 5000 jobs: within 15% of theory. *)
+  let rel = Float.abs (measured -. expect_wait) /. expect_wait in
+  if rel > 0.15 then
+    Alcotest.failf "M/D/1 wait %f vs theory %f (%.0f%% off)" measured expect_wait
+      (rel *. 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "capacity bound" `Quick test_basic_capacity;
+    Alcotest.test_case "wait statistics" `Quick test_wait_stats;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "release without hold" `Quick test_release_without_hold;
+    Alcotest.test_case "queue length" `Quick test_queue_length;
+    Alcotest.test_case "M/D/1 matches queueing theory" `Quick test_md1_queueing_theory;
+  ]

@@ -1,0 +1,137 @@
+(* SCHED_FIFO real-time policy in the simulated kernel — the strict
+   prioritization the paper's §4.3 says needs root on real systems. *)
+
+open Desim
+open Oskern
+
+let make () =
+  let eng = Engine.create () in
+  let k = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  (eng, k)
+
+let test_fifo_beats_cfs () =
+  let eng, k = make () in
+  let order = ref [] in
+  (* CFS hog starts first; an RT task wakes later and must finish first. *)
+  ignore
+    (Kernel.spawn k ~name:"cfs-hog" (fun klt ->
+         Kernel.compute k klt 0.05;
+         order := "cfs" :: !order));
+  let rt =
+    Kernel.spawn k ~name:"rt" (fun klt ->
+        Kernel.sleep k klt 0.01;
+        Kernel.compute k klt 0.02;
+        order := "rt" :: !order)
+  in
+  Kernel.set_policy k rt (`Fifo 10);
+  Engine.run eng;
+  Alcotest.(check (list string)) "rt first" [ "rt"; "cfs" ] (List.rev !order)
+
+let test_fifo_runs_to_completion () =
+  let eng, k = make () in
+  let rt_done = ref 0.0 in
+  let rt =
+    Kernel.spawn k ~name:"rt" (fun klt ->
+        Kernel.compute k klt 0.05;
+        rt_done := Kernel.now k)
+  in
+  Kernel.set_policy k rt (`Fifo 5);
+  ignore (Kernel.spawn k ~name:"cfs" (fun klt -> Kernel.compute k klt 0.05));
+  Engine.run eng;
+  (* No timeslicing against CFS: the RT task monopolizes the core. *)
+  if !rt_done > 0.051 then Alcotest.failf "RT task was timesliced: done at %f" !rt_done
+
+let test_fifo_priorities () =
+  let eng, k = make () in
+  let order = ref [] in
+  let mk name prio delay =
+    let klt =
+      Kernel.spawn k ~name (fun klt ->
+          if delay > 0.0 then Kernel.sleep k klt delay;
+          Kernel.compute k klt 0.02;
+          order := name :: !order)
+    in
+    Kernel.set_policy k klt (`Fifo prio)
+  in
+  mk "low" 1 0.0;
+  (* high wakes while low is running and must preempt it *)
+  mk "high" 9 0.005;
+  Engine.run eng;
+  Alcotest.(check (list string)) "high preempts low" [ "high"; "low" ] (List.rev !order)
+
+let test_equal_fifo_is_fifo () =
+  let eng, k = make () in
+  let order = ref [] in
+  for i = 0 to 2 do
+    let klt =
+      Kernel.spawn k
+        ~name:(Printf.sprintf "rt%d" i)
+        (fun klt ->
+          Kernel.compute k klt 0.01;
+          order := i :: !order)
+    in
+    Kernel.set_policy k klt (`Fifo 5)
+  done;
+  Engine.run eng;
+  (* Same priority: run in arrival order, each to completion. *)
+  Alcotest.(check (list int)) "arrival order" [ 0; 1; 2 ] (List.rev !order)
+
+let test_policy_name () =
+  let _eng, k = make () in
+  let klt = Kernel.spawn k ~name:"x" (fun _ -> ()) in
+  Alcotest.(check string) "default" "SCHED_OTHER" (Kernel.policy_name klt);
+  Kernel.set_policy k klt (`Fifo 42);
+  Alcotest.(check string) "fifo" "SCHED_FIFO:42" (Kernel.policy_name klt);
+  Kernel.set_policy k klt `Other;
+  Alcotest.(check string) "back" "SCHED_OTHER" (Kernel.policy_name klt)
+
+let test_cfs_starves_under_rt_load () =
+  (* Two RT spinners saturate the core: a CFS task makes no progress
+     until they finish — the reason real systems gate SCHED_FIFO. *)
+  let eng, k = make () in
+  let cfs_done = ref 0.0 in
+  ignore
+    (Kernel.spawn k ~name:"cfs" (fun klt ->
+         Kernel.compute k klt 0.01;
+         cfs_done := Kernel.now k));
+  for i = 0 to 1 do
+    let klt =
+      Kernel.spawn k ~name:(Printf.sprintf "rt%d" i) (fun klt -> Kernel.compute k klt 0.03)
+    in
+    Kernel.set_policy k klt (`Fifo 3)
+  done;
+  Engine.run eng;
+  if !cfs_done < 0.06 then Alcotest.failf "CFS ran under RT load: %f" !cfs_done
+
+let test_wake_preempt_survives_kernel_section () =
+  (* Regression: an RT wake landing while the current KLT is inside a
+     non-preemptible kernel charge used to be dropped silently. *)
+  let eng, k = make () in
+  let first_rt_progress = ref 0.0 in
+  ignore
+    (Kernel.spawn k ~name:"cfs-hog" (fun klt ->
+         (* Long compute: the initial dispatch overhead consumption is
+            the non-preemptible window the RT wake can land in. *)
+         Kernel.compute k klt 0.05));
+  let rt =
+    Kernel.spawn k ~name:"rt" (fun klt ->
+        Kernel.compute k klt 0.01;
+        first_rt_progress := Kernel.now k)
+  in
+  Kernel.set_policy k rt (`Fifo 7);
+  Engine.run eng;
+  (* The RT task must run promptly, not after the hog's 50 ms. *)
+  if !first_rt_progress > 0.02 then
+    Alcotest.failf "RT delayed to %f (wake preempt dropped)" !first_rt_progress
+
+let suite =
+  [
+    Alcotest.test_case "FIFO beats CFS" `Quick test_fifo_beats_cfs;
+    Alcotest.test_case "FIFO runs to completion" `Quick test_fifo_runs_to_completion;
+    Alcotest.test_case "higher FIFO priority preempts" `Quick test_fifo_priorities;
+    Alcotest.test_case "equal FIFO is arrival-ordered" `Quick test_equal_fifo_is_fifo;
+    Alcotest.test_case "policy names" `Quick test_policy_name;
+    Alcotest.test_case "CFS starves under RT load" `Quick test_cfs_starves_under_rt_load;
+    Alcotest.test_case "wake preempt survives kernel section" `Quick
+      test_wake_preempt_survives_kernel_section;
+  ]

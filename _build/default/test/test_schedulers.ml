@@ -1,0 +1,176 @@
+(* Unit-level tests of the scheduler policies, driving [next]/[on_ready]
+   directly on runtime state without running the simulation. *)
+
+open Desim
+open Oskern
+open Preempt_core
+open Preempt_core.Types
+
+let make_rt ?(workers = 4) scheduler =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake workers) in
+  Runtime.create ~scheduler kernel ~n_workers:workers
+
+let worker rt i = (rt : Runtime.t).workers.(i)
+
+(* ULTs contain closures: compare physically. *)
+let is_u got u = match got with Some x -> x == u | None -> false
+
+let is_none = function None -> true | Some _ -> false
+
+let spawn_home rt ~home ?(priority = 0) name =
+  Runtime.spawn rt ~home ~priority ~name (fun () -> ())
+
+(* --------------------------------------------------------------- *)
+(* Work stealing. *)
+
+let test_ws_prefers_own_queue () =
+  let rt = make_rt (Sched_ws.make ()) in
+  let a = spawn_home rt ~home:0 "a" in
+  let b = spawn_home rt ~home:1 "b" in
+  let got = (rt.sched.next rt (worker rt 0) : ult option) in
+  Alcotest.(check bool) "own first" true (is_u got a);
+  let got = rt.sched.next rt (worker rt 1) in
+  Alcotest.(check bool) "own for w1" true (is_u got b)
+
+let test_ws_steals_when_empty () =
+  let rt = make_rt (Sched_ws.make ()) in
+  let a = spawn_home rt ~home:0 "a" in
+  let got = rt.sched.next rt (worker rt 3) in
+  Alcotest.(check bool) "stolen" true (is_u got a);
+  Alcotest.(check bool) "nothing left" true (is_none (rt.sched.next rt (worker rt 0)))
+
+let test_ws_fifo_order_within_queue () =
+  let rt = make_rt (Sched_ws.make ()) in
+  let a = spawn_home rt ~home:0 "a" in
+  let b = spawn_home rt ~home:0 "b" in
+  let w = worker rt 0 in
+  Alcotest.(check bool) "a first" true (is_u (rt.sched.next rt w) a);
+  Alcotest.(check bool) "b second" true (is_u (rt.sched.next rt w) b)
+
+(* --------------------------------------------------------------- *)
+(* Packing scheduler: Algorithm 1. *)
+
+let test_packing_private_pools_partition () =
+  let rt = make_rt ~workers:4 (Sched_packing.make ()) in
+  Runtime.set_active_workers rt 2;
+  (* N_total=4, N_active=2 -> N_private=4: pools 0..3 all private:
+     worker 0 owns {0,2}, worker 1 owns {1,3}. *)
+  let t0 = spawn_home rt ~home:0 "p0" in
+  let t1 = spawn_home rt ~home:1 "p1" in
+  let t2 = spawn_home rt ~home:2 "p2" in
+  let t3 = spawn_home rt ~home:3 "p3" in
+  let w0 = worker rt 0 and w1 = worker rt 1 in
+  let pair_is a b x y = (is_u a x && is_u b y) || (is_u a y && is_u b x) in
+  let n0a = rt.sched.next rt w0 in
+  let n0b = rt.sched.next rt w0 in
+  Alcotest.(check bool) "w0 gets pools 0 and 2" true (pair_is n0a n0b t0 t2);
+  let n1a = rt.sched.next rt w1 in
+  let n1b = rt.sched.next rt w1 in
+  Alcotest.(check bool) "w1 gets pools 1 and 3" true (pair_is n1a n1b t1 t3)
+
+let test_packing_shared_pools_when_indivisible () =
+  let rt = make_rt ~workers:4 (Sched_packing.make ()) in
+  Runtime.set_active_workers rt 3;
+  (* N_total=4, N_active=3 -> N_private = 3*(4/3) = 3: pools 0..2
+     private to workers 0..2; pool 3 shared by everyone. *)
+  let shared = spawn_home rt ~home:3 "s" in
+  (* Any active worker can pick the shared thread. *)
+  let got = rt.sched.next rt (worker rt 1) in
+  Alcotest.(check bool) "shared reachable from w1" true (is_u got shared)
+
+let test_packing_preempted_returns_home () =
+  let rt = make_rt ~workers:4 (Sched_packing.make ()) in
+  (* N_active=3: pool 3 is in the shared range. *)
+  Runtime.set_active_workers rt 3;
+  let t = spawn_home rt ~home:3 "t" in
+  (* Simulate: worker 0 ran it and it got preempted. *)
+  (match rt.sched.next rt (worker rt 0) with
+  | Some u when u == t -> ()
+  | _ -> Alcotest.fail "expected to pick t");
+  t.ustate <- U_ready;
+  rt.sched.on_preempted rt (worker rt 0) t;
+  (* It must be back in pool 3 (its home), reachable via the shared scan
+     by worker 1 too. *)
+  let got = rt.sched.next rt (worker rt 1) in
+  Alcotest.(check bool) "back in home pool" true (is_u got t)
+
+let test_packing_full_active_behaves_locally () =
+  let rt = make_rt ~workers:4 (Sched_packing.make ()) in
+  (* All active: every pool is private to its own worker. *)
+  let t2 = spawn_home rt ~home:2 "t2" in
+  Alcotest.(check bool) "w2 finds own" true (is_u (rt.sched.next rt (worker rt 2)) t2);
+  let t0 = spawn_home rt ~home:0 "t0" in
+  Alcotest.(check bool) "w1 cannot reach w0's private pool" true
+    (is_none (rt.sched.next rt (worker rt 1)));
+  Alcotest.(check bool) "w0 can" true (is_u (rt.sched.next rt (worker rt 0)) t0)
+
+(* --------------------------------------------------------------- *)
+(* Priority scheduler. *)
+
+let test_priority_sim_before_analysis () =
+  let rt = make_rt (Sched_priority.make ()) in
+  let analysis = spawn_home rt ~home:0 ~priority:1 "an" in
+  let sim = spawn_home rt ~home:0 ~priority:0 "sim" in
+  let w = worker rt 0 in
+  Alcotest.(check bool) "sim first" true (is_u (rt.sched.next rt w) sim);
+  Alcotest.(check bool) "then analysis" true (is_u (rt.sched.next rt w) analysis)
+
+let test_priority_steals_sim_across_workers () =
+  let rt = make_rt (Sched_priority.make ()) in
+  let analysis = spawn_home rt ~home:0 ~priority:1 "an" in
+  let sim = spawn_home rt ~home:2 ~priority:0 "sim" in
+  (* Worker 0 has local analysis but must steal the remote sim first. *)
+  let got = rt.sched.next rt (worker rt 0) in
+  Alcotest.(check bool) "remote sim preferred" true (is_u got sim);
+  Alcotest.(check bool) "then local analysis" true
+    (is_u (rt.sched.next rt (worker rt 0)) analysis)
+
+let test_priority_analysis_is_lifo () =
+  let rt = make_rt (Sched_priority.make ()) in
+  let a1 = spawn_home rt ~home:0 ~priority:1 "a1" in
+  let a2 = spawn_home rt ~home:0 ~priority:1 "a2" in
+  ignore a1;
+  let w = worker rt 0 in
+  (* LIFO: the most recently pushed analysis thread runs first (cache). *)
+  Alcotest.(check bool) "lifo pick" true (is_u (rt.sched.next rt w) a2)
+
+let prop_packing_no_thread_lost =
+  QCheck.Test.make ~name:"packing: every spawned thread is reachable" ~count:50
+    QCheck.(pair (int_bound 20) (int_bound 3))
+    (fun (n_threads, active_minus1) ->
+      let rt = make_rt ~workers:4 (Sched_packing.make ()) in
+      Runtime.set_active_workers rt (active_minus1 + 1);
+      let spawned =
+        List.init n_threads (fun i -> spawn_home rt ~home:(i mod 4) (Printf.sprintf "t%d" i))
+      in
+      (* Drain using only the active workers. *)
+      let drained = ref [] in
+      let continue = ref true in
+      while !continue do
+        continue := false;
+        for w = 0 to Runtime.n_active rt - 1 do
+          match rt.sched.next rt (worker rt w) with
+          | Some u ->
+              drained := u :: !drained;
+              continue := true
+          | None -> ()
+        done
+      done;
+      List.length !drained = List.length spawned
+      && List.for_all (fun u -> List.memq u !drained) spawned)
+
+let suite =
+  [
+    Alcotest.test_case "ws: own queue first" `Quick test_ws_prefers_own_queue;
+    Alcotest.test_case "ws: steals when empty" `Quick test_ws_steals_when_empty;
+    Alcotest.test_case "ws: FIFO within queue" `Quick test_ws_fifo_order_within_queue;
+    Alcotest.test_case "packing: private partition" `Quick test_packing_private_pools_partition;
+    Alcotest.test_case "packing: shared pools" `Quick test_packing_shared_pools_when_indivisible;
+    Alcotest.test_case "packing: preempted goes home" `Quick test_packing_preempted_returns_home;
+    Alcotest.test_case "packing: all-active locality" `Quick test_packing_full_active_behaves_locally;
+    Alcotest.test_case "priority: sim before analysis" `Quick test_priority_sim_before_analysis;
+    Alcotest.test_case "priority: steals sim first" `Quick test_priority_steals_sim_across_workers;
+    Alcotest.test_case "priority: analysis LIFO" `Quick test_priority_analysis_is_lifo;
+    QCheck_alcotest.to_alcotest prop_packing_no_thread_lost;
+  ]

@@ -1,0 +1,138 @@
+(* Blocking system calls under signals (paper 3.5.1). *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let sig_x = 40
+
+let make () =
+  let eng = Engine.create () in
+  let k = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  (eng, k)
+
+let test_uninterrupted_syscall () =
+  let eng, k = make () in
+  let r = ref (`Eintr (0.0, 0)) in
+  let klt =
+    Kernel.spawn k ~name:"io" (fun klt ->
+        r := Kernel.blocking_syscall k klt ~duration:0.02 ~sa_restart:false)
+  in
+  ignore klt;
+  Engine.run eng;
+  (match !r with
+  | `Done 0 -> ()
+  | `Done n -> Alcotest.failf "unexpected restarts: %d" n
+  | `Eintr _ -> Alcotest.fail "should complete");
+  (* No CPU burned while blocked. *)
+  if Engine.now eng < 0.02 then Alcotest.fail "finished early"
+
+let test_sa_restart_resumes () =
+  let eng, k = make () in
+  Kernel.sigaction k sig_x (fun _ _ -> ());
+  let result = ref (`Done (-1)) in
+  let finish = ref 0.0 in
+  let klt =
+    Kernel.spawn k ~name:"io" (fun klt ->
+        result := Kernel.blocking_syscall k klt ~duration:0.03 ~sa_restart:true;
+        finish := Kernel.now k)
+  in
+  (* Three signals during the call. *)
+  List.iter
+    (fun t -> ignore (Engine.after eng t (fun () -> Kernel.kill k klt sig_x)))
+    [ 0.005; 0.012; 0.02 ];
+  Engine.run eng;
+  (match !result with
+  | `Done 3 -> ()
+  | `Done n -> Alcotest.failf "restarts %d, expected 3" n
+  | `Eintr _ -> Alcotest.fail "SA_RESTART must not fail");
+  (* Completes around its duration plus small handler costs. *)
+  if !finish < 0.03 || !finish > 0.032 then Alcotest.failf "finish %f" !finish
+
+let test_eintr_without_restart () =
+  let eng, k = make () in
+  Kernel.sigaction k sig_x (fun _ _ -> ());
+  let result = ref (`Done (-1)) in
+  let klt =
+    Kernel.spawn k ~name:"io" (fun klt ->
+        result := Kernel.blocking_syscall k klt ~duration:0.03 ~sa_restart:false)
+  in
+  ignore (Engine.after eng 0.01 (fun () -> Kernel.kill k klt sig_x));
+  Engine.run eng;
+  match !result with
+  | `Eintr (left, 1) ->
+      if left < 0.015 || left > 0.021 then Alcotest.failf "remaining %f" left
+  | `Eintr (_, n) -> Alcotest.failf "restarts %d" n
+  | `Done _ -> Alcotest.fail "should have failed with EINTR"
+
+let test_ult_blocking_io_restarted_by_preemption () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:1 in
+  let restarts = ref 0 in
+  let finish = ref 0.0 in
+  ignore
+    (Runtime.spawn rt ~kind:Types.Signal_yield ~home:0 ~name:"io" (fun () ->
+         restarts := Ult.blocking_io 0.01;
+         finish := Ult.now ()));
+  Runtime.start rt;
+  Engine.run eng;
+  (* A 10 ms call under a 1 ms timer: ~9-10 interruptions, still done. *)
+  if !restarts < 5 then Alcotest.failf "too few restarts: %d" !restarts;
+  if !finish < 0.01 || !finish > 0.012 then Alcotest.failf "finish %f" !finish
+
+let test_io_does_not_deadlock_scheduler () =
+  (* While one thread blocks in I/O, its worker's KLT is blocked — but a
+     preemptive CPU thread on another worker keeps running. *)
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:2 in
+  let done_io = ref false and done_cpu = ref false in
+  ignore
+    (Runtime.spawn rt ~kind:Types.Signal_yield ~home:0 ~name:"io" (fun () ->
+         ignore (Ult.blocking_io 0.02);
+         done_io := true));
+  ignore
+    (Runtime.spawn rt ~kind:Types.Signal_yield ~home:1 ~name:"cpu" (fun () ->
+         Ult.compute 0.01;
+         done_cpu := true));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check (pair bool bool)) "both complete" (true, true) (!done_io, !done_cpu)
+
+let test_ablation_shape () =
+  let _baseline, points = Experiments.Sec351_syscalls.series ~fast:true () in
+  let find i =
+    List.find (fun p -> p.Experiments.Sec351_syscalls.interval = i) points
+  in
+  let p100us = find 1e-4 and p10ms = find 1e-2 in
+  Alcotest.(check bool) "more restarts at shorter interval" true
+    (p100us.restarts > (10 * p10ms.restarts));
+  Alcotest.(check bool) "more overhead at shorter interval" true
+    (p100us.overhead > p10ms.overhead)
+
+let suite =
+  [
+    Alcotest.test_case "uninterrupted syscall" `Quick test_uninterrupted_syscall;
+    Alcotest.test_case "SA_RESTART resumes" `Quick test_sa_restart_resumes;
+    Alcotest.test_case "EINTR without restart" `Quick test_eintr_without_restart;
+    Alcotest.test_case "ULT blocking_io under preemption" `Quick
+      test_ult_blocking_io_restarted_by_preemption;
+    Alcotest.test_case "I/O does not block other workers" `Quick
+      test_io_does_not_deadlock_scheduler;
+    Alcotest.test_case "3.5.1 ablation shape" `Quick test_ablation_shape;
+  ]

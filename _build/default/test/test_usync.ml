@@ -1,0 +1,190 @@
+(* Focused edge-case tests for ULT-level synchronization beyond the
+   basic coverage in test_runtime.ml. *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let make ?(cores = 2) ?(workers = 2) () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake cores) in
+  let rt = Runtime.create kernel ~n_workers:workers in
+  (eng, rt)
+
+let test_mutex_fifo_handoff () =
+  let eng, rt = make ~cores:4 ~workers:4 () in
+  let m = Usync.Mutex.create rt in
+  let order = ref [] in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~home:0 ~name:(Printf.sprintf "m%d" i) (fun () ->
+           Ult.compute (float_of_int i *. 1e-4);
+           Usync.Mutex.lock m;
+           order := i :: !order;
+           Ult.compute 1e-3;
+           Usync.Mutex.unlock m))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check (list int)) "FIFO handoff" [ 0; 1; 2; 3 ] (List.rev !order)
+
+let test_mutex_trylock_under_contention () =
+  let eng, rt = make () in
+  let m = Usync.Mutex.create rt in
+  let attempts = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"holder" (fun () ->
+         Usync.Mutex.lock m;
+         Ult.compute 5e-3;
+         Usync.Mutex.unlock m));
+  ignore
+    (Runtime.spawn rt ~name:"prober" (fun () ->
+         Ult.compute 1e-3;
+         attempts := Usync.Mutex.try_lock m :: !attempts;
+         Ult.compute 6e-3;
+         attempts := Usync.Mutex.try_lock m :: !attempts;
+         if Usync.Mutex.locked m then Usync.Mutex.unlock m));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check (list bool)) "fail then succeed" [ true; false ] !attempts
+
+let test_barrier_reusable () =
+  let eng, rt = make ~cores:3 ~workers:3 () in
+  let b = Usync.Barrier.create rt 3 in
+  let phase_counts = Array.make 3 0 in
+  for i = 0 to 2 do
+    ignore
+      (Runtime.spawn rt ~home:i ~name:(Printf.sprintf "b%d" i) (fun () ->
+           for phase = 0 to 2 do
+             Ult.compute (1e-4 *. float_of_int (i + 1));
+             Usync.Barrier.wait b;
+             phase_counts.(phase) <- phase_counts.(phase) + 1
+           done))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  Array.iteri
+    (fun p c -> if c <> 3 then Alcotest.failf "phase %d: %d crossings" p c)
+    phase_counts
+
+let test_barrier_one_party () =
+  let eng, rt = make () in
+  let b = Usync.Barrier.create rt 1 in
+  let passed = ref 0 in
+  ignore
+    (Runtime.spawn rt ~name:"solo" (fun () ->
+         Usync.Barrier.wait b;
+         Usync.Barrier.wait b;
+         passed := 2));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check int) "no self-deadlock" 2 !passed
+
+let test_barrier_invalid () =
+  let _eng, rt = make () in
+  Alcotest.check_raises "zero parties"
+    (Invalid_argument "Usync.Barrier.create: parties <= 0") (fun () ->
+      ignore (Usync.Barrier.create rt 0))
+
+let test_channel_fifo_many () =
+  let eng, rt = make () in
+  let ch = Usync.Channel.create rt in
+  let got = ref [] in
+  ignore
+    (Runtime.spawn rt ~name:"cons" (fun () ->
+         for _ = 1 to 50 do
+           got := Usync.Channel.recv ch :: !got
+         done));
+  ignore
+    (Runtime.spawn rt ~name:"prod" (fun () ->
+         for i = 1 to 50 do
+           Ult.compute 1e-5;
+           Usync.Channel.send ch i
+         done));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1)) (List.rev !got)
+
+let test_channel_send_from_event_context () =
+  let eng, rt = make () in
+  let ch = Usync.Channel.create rt in
+  let got = ref 0 in
+  ignore (Runtime.spawn rt ~name:"cons" (fun () -> got := Usync.Channel.recv ch));
+  ignore (Engine.after eng 0.01 (fun () -> Usync.Channel.send ch 99));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check int) "delivered" 99 !got
+
+let test_ivar_multiple_readers_cross_worker () =
+  let eng, rt = make ~cores:4 ~workers:4 () in
+  let iv = Usync.Ivar.create rt in
+  let sum = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~home:i ~name:(Printf.sprintf "r%d" i) (fun () ->
+           sum := !sum + Usync.Ivar.read iv))
+  done;
+  ignore (Engine.after eng 5e-3 (fun () -> Usync.Ivar.fill iv 10));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check int) "all read" 40 !sum;
+  Alcotest.(check (option int)) "peek" (Some 10) (Usync.Ivar.peek iv)
+
+let test_join_many_waiters () =
+  let eng, rt = make ~cores:4 ~workers:4 () in
+  let target = Runtime.spawn rt ~name:"t" (fun () -> Ult.compute 5e-3) in
+  let joined = ref 0 in
+  for i = 0 to 5 do
+    ignore
+      (Runtime.spawn rt ~name:(Printf.sprintf "j%d" i) (fun () ->
+           Usync.join rt target;
+           incr joined))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check int) "all joined" 6 !joined
+
+let test_mutex_with_preemption () =
+  (* A preemptible thread holding a ULT mutex is preempted; the lock
+     still ends up handed over correctly. *)
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:1 in
+  let m = Usync.Mutex.create rt in
+  let order = ref [] in
+  ignore
+    (Runtime.spawn rt ~kind:Types.Signal_yield ~home:0 ~name:"holder" (fun () ->
+         Usync.Mutex.lock m;
+         Ult.compute 5e-3;
+         (* preempted at least 4 times while holding the lock *)
+         Usync.Mutex.unlock m;
+         order := "holder" :: !order));
+  ignore
+    (Runtime.spawn rt ~kind:Types.Signal_yield ~home:0 ~name:"waiter" (fun () ->
+         Usync.Mutex.lock m;
+         order := "waiter" :: !order;
+         Usync.Mutex.unlock m));
+  Runtime.start rt;
+  Engine.run eng;
+  Alcotest.(check (list string)) "handoff order" [ "holder"; "waiter" ] (List.rev !order)
+
+let suite =
+  [
+    Alcotest.test_case "mutex FIFO handoff" `Quick test_mutex_fifo_handoff;
+    Alcotest.test_case "try_lock under contention" `Quick test_mutex_trylock_under_contention;
+    Alcotest.test_case "barrier reusable across phases" `Quick test_barrier_reusable;
+    Alcotest.test_case "barrier of one" `Quick test_barrier_one_party;
+    Alcotest.test_case "barrier invalid arg" `Quick test_barrier_invalid;
+    Alcotest.test_case "channel FIFO x50" `Quick test_channel_fifo_many;
+    Alcotest.test_case "channel send from event" `Quick test_channel_send_from_event_context;
+    Alcotest.test_case "ivar cross-worker broadcast" `Quick test_ivar_multiple_readers_cross_worker;
+    Alcotest.test_case "join many waiters" `Quick test_join_many_waiters;
+    Alcotest.test_case "mutex survives preemption" `Quick test_mutex_with_preemption;
+  ]
