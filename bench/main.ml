@@ -72,6 +72,20 @@ let fiber_microbench () =
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let fast = not full in
+  (* Observability flags: --metrics prints counters + latency histograms
+     of the last instrumented run; --chrome-trace FILE exports it as a
+     Chrome trace_events JSON (see docs/observability.md). *)
+  let rec parse_obs = function
+    | "--metrics" :: rest ->
+        Experiments.Exputil.Obs.metrics := true;
+        parse_obs rest
+    | "--chrome-trace" :: file :: rest ->
+        Experiments.Exputil.Obs.chrome_trace := Some file;
+        parse_obs rest
+    | _ :: rest -> parse_obs rest
+    | [] -> ()
+  in
+  parse_obs (Array.to_list Sys.argv);
   Printf.printf "preempt benchmark harness — %s preset\n"
     (if fast then "fast (use --full for paper-scale sweeps)" else "full");
   section "fig4" (fun () -> ignore (Experiments.Fig4_interrupt.run ~fast ()));
@@ -82,6 +96,7 @@ let () =
   section "fig9" (fun () -> ignore (Experiments.Fig9_insitu.run ~fast ()));
   section "sec3.5.1" (fun () -> ignore (Experiments.Sec351_syscalls.run ~fast ()));
   section "fiber-microbench" fiber_microbench;
+  if Experiments.Exputil.Obs.requested () then Experiments.Exputil.Obs.report ();
   print_newline ();
   print_endline "All tables and figures regenerated. See EXPERIMENTS.md for the";
   print_endline "paper-vs-measured comparison."

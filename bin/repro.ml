@@ -1,7 +1,15 @@
 (* Command-line front end: regenerate any single experiment.
 
      repro fig4|fig6|table1|fig7|fig8|fig9|all [--full]
-     repro env *)
+                 [--metrics] [--chrome-trace FILE]
+     repro env
+
+   --metrics prints the runtime's observability counters and latency
+   histograms (p50/p99 signal-to-switch etc.) for the instrumented run;
+   --chrome-trace FILE writes a Chrome trace_events JSON of the same run,
+   loadable in chrome://tracing or ui.perfetto.dev.  Both are honored by
+   the experiments that run the M:N runtime through the observability
+   hooks (fig4, table1); see docs/observability.md. *)
 
 open Cmdliner
 
@@ -11,9 +19,37 @@ let fast_t =
   in
   Term.(const not $ full)
 
+let obs_t =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record and print runtime metrics (per-worker counters, latency \
+             histograms with p50/p99) for the instrumented run.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_events JSON file of the instrumented run to \
+             $(docv); load it in chrome://tracing or ui.perfetto.dev.")
+  in
+  Term.(const (fun m c -> (m, c)) $ metrics $ chrome)
+
 let run_exp name f =
   let doc = Printf.sprintf "Regenerate %s of the paper." name in
-  let term = Term.(const (fun fast -> f ~fast ()) $ fast_t) in
+  let term =
+    Term.(
+      const (fun fast (m, c) ->
+          Experiments.Exputil.Obs.metrics := m;
+          Experiments.Exputil.Obs.chrome_trace := c;
+          f ~fast ();
+          if m || c <> None then Experiments.Exputil.Obs.report ())
+      $ fast_t $ obs_t)
+  in
   Cmd.v (Cmd.info (String.lowercase_ascii (String.map (function ' ' -> '_' | c -> c) name)) ~doc) term
 
 let fig4 = run_exp "fig4" (fun ~fast () -> ignore (Experiments.Fig4_interrupt.run ~fast ()))

@@ -28,6 +28,9 @@ type t = {
   local_pool_capacity : int;
   idle_poll : float;  (** scheduler spin granularity when out of work *)
   autostop : bool;  (** stop workers when no unfinished ULTs remain *)
+  enable_metrics : bool;
+      (** record {!Metrics} counters and latency histograms; off by
+          default — the disabled path is a single branch per hook *)
 }
 
 let default =
@@ -39,6 +42,7 @@ let default =
     local_pool_capacity = 2;
     idle_poll = 10e-6;
     autostop = true;
+    enable_metrics = false;
   }
 
 (* The paper's §3.4 guidance on choosing a thread type, as a function:

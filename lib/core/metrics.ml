@@ -1,0 +1,273 @@
+(* Runtime observability: per-worker counters + log-scale histograms.
+   Shapes follow LibPreemptible's per-quantum accounting: cheap fixed
+   counters on the hot paths, percentiles recovered from fixed buckets
+   rather than stored samples, so the cost is O(1) per event and the
+   memory bound is static. *)
+
+module Hist = struct
+  (* Buckets cover [1e-9, 1e2) seconds, 8 per decade, plus underflow and
+     overflow.  The boundary table is the single source of truth;
+     [bucket_of] is a binary search on it, so edge values bucket
+     exactly (no log() rounding at the boundaries). *)
+
+  let decade_lo = -9
+
+  let decade_hi = 2
+
+  let per_decade = 8
+
+  let n_core = (decade_hi - decade_lo) * per_decade
+
+  let n_buckets = n_core + 2
+
+  let bounds =
+    Array.init (n_core + 1) (fun i ->
+        10.0 ** (float_of_int decade_lo +. (float_of_int i /. float_of_int per_decade)))
+
+  let bucket_of v =
+    if not (v >= bounds.(0)) then 0 (* negatives, NaN, < 1 ns *)
+    else if v >= bounds.(n_core) then n_buckets - 1
+    else begin
+      (* Largest i with bounds.(i) <= v; invariant bounds.(lo) <= v < bounds.(hi). *)
+      let lo = ref 0 and hi = ref n_core in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if bounds.(mid) <= v then lo := mid else hi := mid
+      done;
+      1 + !lo
+    end
+
+  let bucket_bounds b =
+    if b < 0 || b >= n_buckets then invalid_arg "Metrics.Hist.bucket_bounds";
+    if b = 0 then (neg_infinity, bounds.(0))
+    else if b = n_buckets - 1 then (bounds.(n_core), infinity)
+    else (bounds.(b - 1), bounds.(b))
+
+  type t = { counts : int array; mutable n : int; mutable total : float }
+
+  let create () = { counts = Array.make n_buckets 0; n = 0; total = 0.0 }
+
+  let add t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.n <- t.n + 1;
+    t.total <- t.total +. v
+
+  let count t = t.n
+
+  let sum t = t.total
+
+  let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+
+  let bucket_count t b =
+    if b < 0 || b >= n_buckets then invalid_arg "Metrics.Hist.bucket_count";
+    t.counts.(b)
+
+  let nonzero t =
+    let rows = ref [] in
+    for b = n_buckets - 1 downto 0 do
+      if t.counts.(b) > 0 then
+        let lo, hi = bucket_bounds b in
+        rows := (lo, hi, t.counts.(b)) :: !rows
+    done;
+    Array.of_list !rows
+
+  (* Representative value of a bucket: geometric midpoint for core
+     buckets, the finite edge for the open-ended ones. *)
+  let representative b =
+    if b = 0 then bounds.(0)
+    else if b = n_buckets - 1 then bounds.(n_core)
+    else sqrt (bounds.(b - 1) *. bounds.(b))
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Metrics.Hist.percentile: empty histogram";
+    if p < 0.0 || p > 100.0 then invalid_arg "Metrics.Hist.percentile: p outside [0,100]";
+    let target = Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.n))) in
+    let rec go b acc =
+      let acc = acc + t.counts.(b) in
+      if acc >= target then representative b else go (b + 1) acc
+    in
+    go 0 0
+
+  let copy t = { counts = Array.copy t.counts; n = t.n; total = t.total }
+
+  let clear t =
+    Array.fill t.counts 0 n_buckets 0;
+    t.n <- 0;
+    t.total <- 0.0
+end
+
+type wcounters = {
+  mutable preempts : int;
+  mutable signal_yields : int;
+  mutable klt_switches : int;
+  mutable pool_gets : int;
+  mutable pool_puts : int;
+  mutable steals : int;
+  mutable timer_fires : int;
+  mutable io_restarts : int;
+}
+
+let zero_wcounters () =
+  {
+    preempts = 0;
+    signal_yields = 0;
+    klt_switches = 0;
+    pool_gets = 0;
+    pool_puts = 0;
+    steals = 0;
+    timer_fires = 0;
+    io_restarts = 0;
+  }
+
+let copy_wcounters c = { c with preempts = c.preempts }
+
+type t = {
+  mutable on : bool;
+  workers : wcounters array;
+  mutable sync_blocks : int;
+  mutable sync_wakeups : int;
+  sig_to_switch : Hist.t;
+  sched_delay : Hist.t;
+  run_quantum : Hist.t;
+}
+
+let create ~n_workers =
+  {
+    on = false;
+    workers = Array.init n_workers (fun _ -> zero_wcounters ());
+    sync_blocks = 0;
+    sync_wakeups = 0;
+    sig_to_switch = Hist.create ();
+    sched_delay = Hist.create ();
+    run_quantum = Hist.create ();
+  }
+
+let enabled t = t.on
+
+let set_enabled t b = t.on <- b
+
+let reset t =
+  Array.iteri (fun i _ -> t.workers.(i) <- zero_wcounters ()) t.workers;
+  t.sync_blocks <- 0;
+  t.sync_wakeups <- 0;
+  Hist.clear t.sig_to_switch;
+  Hist.clear t.sched_delay;
+  Hist.clear t.run_quantum
+
+let observe_sig_to_switch t v = if t.on then Hist.add t.sig_to_switch v
+
+let observe_sched_delay t v = if t.on then Hist.add t.sched_delay v
+
+let observe_run_quantum t v = if t.on then Hist.add t.run_quantum v
+
+let incr_preempts t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.preempts <- c.preempts + 1
+
+let incr_signal_yields t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.signal_yields <- c.signal_yields + 1
+
+let incr_klt_switches t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.klt_switches <- c.klt_switches + 1
+
+let incr_pool_gets t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.pool_gets <- c.pool_gets + 1
+
+let incr_pool_puts t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.pool_puts <- c.pool_puts + 1
+
+let incr_steals t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.steals <- c.steals + 1
+
+let incr_timer_fires t r =
+  if t.on then
+    let c = t.workers.(r) in
+    c.timer_fires <- c.timer_fires + 1
+
+let add_io_restarts t r n =
+  if t.on && n > 0 then
+    let c = t.workers.(r) in
+    c.io_restarts <- c.io_restarts + n
+
+let incr_sync_blocks t = if t.on then t.sync_blocks <- t.sync_blocks + 1
+
+let incr_sync_wakeups t = if t.on then t.sync_wakeups <- t.sync_wakeups + 1
+
+type snapshot = {
+  s_workers : wcounters array;
+  s_totals : wcounters;
+  s_sync_blocks : int;
+  s_sync_wakeups : int;
+  s_sig_to_switch : Hist.t;
+  s_sched_delay : Hist.t;
+  s_run_quantum : Hist.t;
+}
+
+let snapshot t =
+  let totals = zero_wcounters () in
+  Array.iter
+    (fun c ->
+      totals.preempts <- totals.preempts + c.preempts;
+      totals.signal_yields <- totals.signal_yields + c.signal_yields;
+      totals.klt_switches <- totals.klt_switches + c.klt_switches;
+      totals.pool_gets <- totals.pool_gets + c.pool_gets;
+      totals.pool_puts <- totals.pool_puts + c.pool_puts;
+      totals.steals <- totals.steals + c.steals;
+      totals.timer_fires <- totals.timer_fires + c.timer_fires;
+      totals.io_restarts <- totals.io_restarts + c.io_restarts)
+    t.workers;
+  {
+    s_workers = Array.map copy_wcounters t.workers;
+    s_totals = totals;
+    s_sync_blocks = t.sync_blocks;
+    s_sync_wakeups = t.sync_wakeups;
+    s_sig_to_switch = Hist.copy t.sig_to_switch;
+    s_sched_delay = Hist.copy t.sched_delay;
+    s_run_quantum = Hist.copy t.run_quantum;
+  }
+
+let summary s =
+  let buf = Buffer.create 1024 in
+  let t = s.s_totals in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "metrics: %d preempts delivered, %d signal-yields, %d KLT switches\n\
+       \         pool get/put %d/%d, %d steals, %d timer fires, %d io restarts\n\
+       \         sync blocks/wakeups %d/%d\n"
+       t.preempts t.signal_yields t.klt_switches t.pool_gets t.pool_puts t.steals
+       t.timer_fires t.io_restarts s.s_sync_blocks s.s_sync_wakeups);
+  Array.iteri
+    (fun r c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  worker%-3d preempts=%-5d sigyield=%-5d kltswitch=%-5d get/put=%d/%d \
+            steals=%-5d timer=%-5d io-restarts=%d\n"
+           r c.preempts c.signal_yields c.klt_switches c.pool_gets c.pool_puts c.steals
+           c.timer_fires c.io_restarts))
+    s.s_workers;
+  let hist name h =
+    match Hist.count h with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "  %-22s (no samples)\n" name)
+    | n ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-22s n=%-6d mean=%8.2f us  p50=%8.2f us  p99=%8.2f us\n" name
+             n (Hist.mean h *. 1e6)
+             (Hist.percentile h 50.0 *. 1e6)
+             (Hist.percentile h 99.0 *. 1e6))
+  in
+  hist "signal->switch" s.s_sig_to_switch;
+  hist "sched delay" s.s_sched_delay;
+  hist "run quantum" s.s_run_quantum;
+  Buffer.contents buf

@@ -1,0 +1,167 @@
+(** First-class runtime observability: per-worker event counters and
+    fixed-bucket log-scale latency histograms.
+
+    Everything here is off by default.  Each instrumentation hook in the
+    runtime is guarded by one boolean load — like {!Desim.Trace.emit} on
+    a disabled trace, the disabled path records nothing and costs a
+    single branch.  Enable at construction time via
+    [Config.enable_metrics] or at any point with
+    {!Runtime.set_metrics_enabled}; read results with {!Runtime.metrics}
+    (a {!snapshot}).
+
+    See [docs/observability.md] for the full metric catalogue. *)
+
+module Hist : sig
+  (** Fixed-bucket log-scale histogram of durations in seconds.
+
+      Buckets cover [\[1e-9, 1e2)] with 8 buckets per decade, plus an
+      underflow bucket (index 0, everything below 1 ns — including
+      negatives and non-finite values) and an overflow bucket (the last
+      index).  The boundaries are a fixed table, so histograms from
+      different runs are comparable bucket-for-bucket and bucketing is
+      exact at the edges (no log rounding). *)
+
+  type t
+
+  val create : unit -> t
+
+  (** Total number of buckets, underflow and overflow included. *)
+  val n_buckets : int
+
+  (** [bucket_of v] is the index of the bucket that [add] would count
+      [v] in: 0 for underflow, [n_buckets - 1] for overflow, otherwise
+      the unique [b] such that [lo <= v < hi] where
+      [(lo, hi) = bucket_bounds b].  Decided by binary search on the
+      boundary table, so a value exactly equal to a bucket's lower edge
+      lands in that bucket. *)
+  val bucket_of : float -> int
+
+  (** Bounds of bucket [b] as [(lo, hi)], with [lo] inclusive and [hi]
+      exclusive.  The underflow bucket reports [(neg_infinity, 1e-9)]
+      and the overflow bucket [(hi_last, infinity)].
+      @raise Invalid_argument if [b] is out of range. *)
+  val bucket_bounds : int -> float * float
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** Exact sum of all added values (not reconstructed from buckets). *)
+  val sum : t -> float
+
+  (** [sum /. count]; 0 when empty. *)
+  val mean : t -> float
+
+  (** [bucket_count t b] — samples recorded in bucket [b]. *)
+  val bucket_count : t -> int -> int
+
+  (** Non-empty buckets as [(lo, hi, count)] rows, index-ascending. *)
+  val nonzero : t -> (float * float * int) array
+
+  (** [percentile t p] with [p] in [\[0, 100\]]: the representative
+      value (geometric bucket midpoint; the finite edge for the
+      underflow/overflow buckets) of the bucket containing the [p]-th
+      percentile sample.  @raise Invalid_argument on an empty histogram
+      or [p] outside [\[0, 100\]]. *)
+  val percentile : t -> float -> float
+
+  val copy : t -> t
+end
+
+(** Per-worker event counters.  The runtime bumps these directly on its
+    hot paths (they are mutable by design); read them through
+    {!snapshot}, which deep-copies. *)
+type wcounters = {
+  mutable preempts : int;
+      (** preemption-signal deliveries that hit (and flagged) a
+          preemptive thread on this worker *)
+  mutable signal_yields : int;  (** signal-yield preemptions taken *)
+  mutable klt_switches : int;  (** KLT-switching suspends taken *)
+  mutable pool_gets : int;
+      (** replacement KLTs acquired from the local or global pool *)
+  mutable pool_puts : int;  (** KLTs returned to a pool *)
+  mutable steals : int;
+      (** ready threads acquired from another worker's pool *)
+  mutable timer_fires : int;
+      (** preemption-timer expiries that targeted this worker *)
+  mutable io_restarts : int;
+      (** SA_RESTART resumptions of blocking I/O after a signal *)
+}
+
+type t = {
+  mutable on : bool;
+  workers : wcounters array;
+  mutable sync_blocks : int;
+      (** ULTs that blocked on a [Usync] primitive (contended mutex,
+          barrier wait, empty channel/ivar, join) *)
+  mutable sync_wakeups : int;
+      (** ULTs readied by a [Usync] primitive (handoff, release,
+          broadcast) *)
+  sig_to_switch : Hist.t;
+      (** preemption-signal post -> next thread running on the worker
+          (the paper's Table 1 metric, as a distribution) *)
+  sched_delay : Hist.t;  (** thread became ready -> thread running *)
+  run_quantum : Hist.t;
+      (** length of a run slice ended by preemption, yield or suspend *)
+}
+
+val create : n_workers:int -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** Zero all counters and histograms (the enabled flag is unchanged). *)
+val reset : t -> unit
+
+(** {1 Guarded hooks}
+
+    All of these are no-ops while disabled; the counter increments in
+    the runtime test [t.on] inline instead. *)
+
+val observe_sig_to_switch : t -> float -> unit
+
+val observe_sched_delay : t -> float -> unit
+
+val observe_run_quantum : t -> float -> unit
+
+val incr_preempts : t -> int -> unit
+
+val incr_signal_yields : t -> int -> unit
+
+val incr_klt_switches : t -> int -> unit
+
+val incr_pool_gets : t -> int -> unit
+
+val incr_pool_puts : t -> int -> unit
+
+val incr_steals : t -> int -> unit
+
+val incr_timer_fires : t -> int -> unit
+
+(** [add_io_restarts t rank n] *)
+val add_io_restarts : t -> int -> int -> unit
+
+val incr_sync_blocks : t -> unit
+
+val incr_sync_wakeups : t -> unit
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  s_workers : wcounters array;  (** deep copies, one per worker *)
+  s_totals : wcounters;  (** field-wise sums over all workers *)
+  s_sync_blocks : int;
+  s_sync_wakeups : int;
+  s_sig_to_switch : Hist.t;
+  s_sched_delay : Hist.t;
+  s_run_quantum : Hist.t;
+}
+
+(** Immutable deep copy of the current state.  Snapshots taken at the
+    same point of two identical seeded runs compare equal with [(=)]. *)
+val snapshot : t -> snapshot
+
+(** Human-readable multi-line report: totals, per-worker counters, and
+    count/mean/p50/p99 for each histogram. *)
+val summary : snapshot -> string

@@ -18,6 +18,12 @@ let interrupt_stats rt = rt.interrupt_stats
 
 let preempt_latency_stats rt = rt.preempt_latency_stats
 
+let metrics rt = Metrics.snapshot rt.metrics
+
+let metrics_enabled rt = Metrics.enabled rt.metrics
+
+let set_metrics_enabled rt b = Metrics.set_enabled rt.metrics b
+
 let preempt_signals rt = rt.preempt_signals
 
 let klt_switches rt = rt.klt_switches
@@ -66,6 +72,7 @@ let send_parked rt ?waker klt msg =
   ignore (Kernel.Futex.wake rt.kernel ?waker p.pfut 1)
 
 let pool_push rt (w : worker) klt =
+  Metrics.incr_pool_puts rt.metrics w.rank;
   if rt.cfg.Config.use_local_klt_pool
      && Queue.length w.local_klts < rt.cfg.Config.local_pool_capacity
   then Queue.push klt w.local_klts
@@ -78,7 +85,9 @@ let acquire_klt rt (w : worker) =
   let local =
     if rt.cfg.Config.use_local_klt_pool then Queue.take_opt w.local_klts else None
   in
-  match local with Some k -> Some k | None -> Queue.take_opt rt.global_klts
+  let got = match local with Some k -> Some k | None -> Queue.take_opt rt.global_klts in
+  (match got with Some _ -> Metrics.incr_pool_gets rt.metrics w.rank | None -> ());
+  got
 
 (* One request per failed preemption attempt (the paper's "issue another
    request and go through the same cycle again"); the creator's
@@ -98,6 +107,7 @@ let ready rt (u : ult) =
   match u.ustate with
   | U_blocked ->
       u.ustate <- U_ready;
+      if rt.metrics.Metrics.on then u.ready_at <- now rt;
       rt.sched.on_ready rt u
   | U_ready | U_running | U_bound | U_finished ->
       invalid_arg (Printf.sprintf "Runtime.ready: %s is not blocked" u.uname)
@@ -123,6 +133,11 @@ let signal_yield_preempt rt (w : worker) (u : ult) cont =
       Kernel.consume rt.kernel klt
         ((costs rt).Machine.ult_ctx_switch +. (costs rt).Machine.handler_ctx_switch)
   | None -> ());
+  if rt.metrics.Metrics.on then begin
+    Metrics.incr_signal_yields rt.metrics w.rank;
+    Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
+    u.ready_at <- now rt
+  end;
   u.work <- Some cont;
   u.ustate <- U_ready;
   u.cur_worker <- None;
@@ -132,6 +147,11 @@ let signal_yield_preempt rt (w : worker) (u : ult) cont =
 (* KLT-switching suspend path (paper Fig. 2). *)
 let klt_switch_preempt rt (w : worker) (u : ult) klt cont_left =
   rt.klt_switches <- rt.klt_switches + 1;
+  if rt.metrics.Metrics.on then begin
+    Metrics.incr_klt_switches rt.metrics w.rank;
+    Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
+    u.ready_at <- now rt
+  end;
   Kernel.consume rt.kernel klt (costs rt).Machine.handler_ctx_switch;
   u.ustate <- U_bound;
   u.bound_klt <- Some klt;
@@ -169,6 +189,12 @@ let klt_switch_preempt rt (w : worker) (u : ult) klt cont_left =
   u.ustate <- U_running;
   u.cur_worker <- Some w2;
   w2.current <- Some u;
+  if rt.metrics.Metrics.on then begin
+    if not (Float.is_nan u.ready_at) then
+      Metrics.observe_sched_delay rt.metrics (now rt -. u.ready_at);
+    u.ready_at <- Float.nan;
+    u.run_started <- now rt
+  end;
   (* The thread moves *together with* its bound KLT: the kernel's
      migration penalty on that KLT's dispatch already prices the cache
      refill — charging the ULT-level penalty too would double-count. *)
@@ -246,6 +272,7 @@ and handler rt (u : ult) : (unit, unit) Effect.Deep.handler =
                 (* Signals while blocked may have flagged a preemption
                    that no longer applies. *)
                 w.preempt_request <- false;
+                Metrics.add_io_restarts rt.metrics w.rank restarts;
                 Effect.Deep.continue k restarts)
         | Ult.Yield ->
             Some
@@ -254,6 +281,10 @@ and handler rt (u : ult) : (unit, unit) Effect.Deep.handler =
                 (match w.wklt with
                 | Some klt -> Kernel.consume rt.kernel klt (costs rt).Machine.ult_ctx_switch
                 | None -> ());
+                if rt.metrics.Metrics.on then begin
+                  Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
+                  u.ready_at <- now rt
+                end;
                 u.work <- Some (fun () -> Effect.Deep.continue k ());
                 u.ustate <- U_ready;
                 u.cur_worker <- None;
@@ -268,6 +299,8 @@ and handler rt (u : ult) : (unit, unit) Effect.Deep.handler =
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 let w = Option.get u.cur_worker in
+                if rt.metrics.Metrics.on then
+                  Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
                 u.work <- Some (fun () -> Effect.Deep.continue k ());
                 u.ustate <- U_blocked;
                 u.cur_worker <- None;
@@ -374,7 +407,14 @@ and run_entry rt (w : worker) klt (u : ult) =
       u.last_worker <- w.rank;
       if w.measure_preempt then begin
         Stats.add rt.preempt_latency_stats (now rt -. w.preempt_post_time);
+        Metrics.observe_sig_to_switch rt.metrics (now rt -. w.preempt_post_time);
         w.measure_preempt <- false
+      end;
+      if rt.metrics.Metrics.on then begin
+        if not (Float.is_nan u.ready_at) then
+          Metrics.observe_sched_delay rt.metrics (now rt -. u.ready_at);
+        u.ready_at <- Float.nan;
+        u.run_started <- now rt
       end;
       (match u.work with
       | Some work ->
@@ -399,6 +439,7 @@ and resume_bound rt (w : worker) klt (u : ult) =
   let bklt = Option.get u.bound_klt in
   if w.measure_preempt then begin
     Stats.add rt.preempt_latency_stats (now rt -. w.preempt_post_time);
+    Metrics.observe_sig_to_switch rt.metrics (now rt -. w.preempt_post_time);
     w.measure_preempt <- false
   end;
   detach_klt rt klt;
@@ -419,7 +460,8 @@ let maybe_request_preempt rt (w : worker) posted =
       w.preempt_request <- true;
       w.preempt_post_time <- posted;
       w.measure_preempt <- true;
-      rt.preempt_signals <- rt.preempt_signals + 1
+      rt.preempt_signals <- rt.preempt_signals + 1;
+      Metrics.incr_preempts rt.metrics w.rank
   | _ -> ()
 
 let post_forward rt ~sender (w : worker) =
@@ -555,6 +597,10 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
     rt_rng = rng;
     preempt_signals = 0;
     klt_switches = 0;
+    metrics =
+      (let m = Metrics.create ~n_workers in
+       Metrics.set_enabled m config.Config.enable_metrics;
+       m);
   }
 
 let spawn rt ?(kind = Nonpreemptive) ?(priority = 0) ?(footprint = 1.0) ?home ?name body =
@@ -581,10 +627,13 @@ let spawn rt ?(kind = Nonpreemptive) ?(priority = 0) ?(footprint = 1.0) ?home ?n
       preemptions = 0;
       ult_cpu = 0.0;
       ult_cpu_since_move = 0.0;
+      ready_at = Float.nan;
+      run_started = 0.0;
     }
   in
   u.work <- Some (fun () -> Effect.Deep.match_with body () (handler rt u));
   rt.unfinished <- rt.unfinished + 1;
+  if rt.metrics.Metrics.on then u.ready_at <- now rt;
   rt.sched.on_ready rt u;
   u
 
@@ -596,6 +645,7 @@ let install_timers rt =
       match w.wklt with
       | Some klt ->
           Hashtbl.replace rt.signal_posted (Kernel.klt_id klt) (now rt);
+          Metrics.incr_timer_fires rt.metrics w.rank;
           Some klt
       | None -> None
   in
@@ -688,6 +738,8 @@ let stats_summary rt =
            w.preempts_taken w.idle_time (Queue.length w.local_klts)
            (if w.active then "" else " (suspended)")))
     rt.workers;
+  if Metrics.enabled rt.metrics then
+    Buffer.add_string buf (Metrics.summary (Metrics.snapshot rt.metrics));
   Buffer.contents buf
 
 let set_active_workers rt n =

@@ -110,5 +110,21 @@ val worker_preempts : t -> int -> int
 val global_pool_size : t -> int
 
 (** Multi-line human-readable summary: per-worker preemptions and idle
-    time, KLT-switch counts, pool sizes, timer statistics. *)
+    time, KLT-switch counts, pool sizes, timer statistics — plus the
+    {!Metrics} summary when metrics are enabled. *)
 val stats_summary : t -> string
+
+(** {1 Metrics (see [docs/observability.md])} *)
+
+(** Immutable snapshot of the runtime's {!Metrics}: per-worker event
+    counters plus signal-to-switch / scheduling-delay / run-quantum
+    latency histograms.  All zeros unless metrics were enabled
+    ([Config.enable_metrics] or {!set_metrics_enabled}). *)
+val metrics : t -> Metrics.snapshot
+
+val metrics_enabled : t -> bool
+
+(** Toggle metric recording at any point (counters keep accumulating
+    across toggles; use {!Metrics.reset} semantics by taking snapshots
+    and differencing instead). *)
+val set_metrics_enabled : t -> bool -> unit

@@ -26,12 +26,19 @@ let pop_private rt (w : worker) =
   in
   scan w.rank
 
-let pop_shared rt (_w : worker) =
+let pop_shared rt (w : worker) =
   let n_total = Array.length rt.workers in
   let np = n_private rt in
   let rec scan i =
     if i >= n_total then None
-    else match Dq.pop_front (pool rt i) with Some u -> Some u | None -> scan (i + 1)
+    else
+      match Dq.pop_front (pool rt i) with
+      | Some u ->
+          (* A grab from a shared pool that is not the worker's own
+             counts as a (cooperative) steal for the metrics layer. *)
+          if i <> w.rank then Metrics.incr_steals rt.metrics w.rank;
+          Some u
+      | None -> scan (i + 1)
   in
   scan np
 

@@ -24,7 +24,9 @@ let next rt (w : worker) =
   | Some u -> Some u
   | None -> (
       match steal_main rt w with
-      | Some u -> Some u
+      | Some u ->
+          Metrics.incr_steals rt.metrics w.rank;
+          Some u
       | None -> Dq.pop_back w.q_aux (* LIFO *))
 
 let on_ready rt (u : ult) =

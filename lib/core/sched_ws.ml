@@ -39,7 +39,14 @@ let steal rt (w : worker) =
   end
 
 let next rt (w : worker) =
-  match Dq.pop_front w.q_main with Some u -> Some u | None -> steal rt w
+  match Dq.pop_front w.q_main with
+  | Some u -> Some u
+  | None ->
+      let stolen = steal rt w in
+      (match stolen with
+      | Some _ -> Metrics.incr_steals rt.metrics w.rank
+      | None -> ());
+      stolen
 
 let on_ready rt (u : ult) =
   let w = rt.workers.(u.home mod Array.length rt.workers) in

@@ -38,6 +38,11 @@ type ult = {
   mutable preemptions : int;
   mutable ult_cpu : float;  (* CPU consumed by this thread's computes *)
   mutable ult_cpu_since_move : float;  (* cache hotness on the current worker *)
+  mutable ready_at : float;
+      (* when the thread last became ready (Metrics sched-delay
+         histogram); NaN when unknown, e.g. metrics were enabled
+         mid-run *)
+  mutable run_started : float;  (* when the current run slice started *)
 }
 
 and worker = {
@@ -96,6 +101,7 @@ and rt = {
   rt_rng : Desim.Rng.t;
   mutable preempt_signals : int;
   mutable klt_switches : int;
+  metrics : Metrics.t;  (* per-worker counters + latency histograms *)
 }
 
 let sig_timer = 34 (* leader timer signal (SIGRTMIN) *)

@@ -1,9 +1,19 @@
 open Types
 
+(* Every primitive here reports to the metrics layer (when enabled):
+   a thread that blocks bumps [sync_blocks], a thread that is readied
+   by a release/handoff/broadcast bumps [sync_wakeups].  Lost-wakeup
+   bugs show up as blocks > wakeups + threads-still-blocked. *)
+
 let join rt (u : ult) =
   if u.ustate <> U_finished then
     Ult.suspend (fun self ->
-        u.join_waiters <- (fun () -> Runtime.ready rt self) :: u.join_waiters)
+        Metrics.incr_sync_blocks rt.metrics;
+        u.join_waiters <-
+          (fun () ->
+            Metrics.incr_sync_wakeups rt.metrics;
+            Runtime.ready rt self)
+          :: u.join_waiters)
 
 module Mutex = struct
   type t = { rt : Runtime.t; mutable held : bool; waiters : ult Queue.t }
@@ -12,7 +22,10 @@ module Mutex = struct
 
   let lock m =
     if not m.held then m.held <- true
-    else Ult.suspend (fun self -> Queue.add self m.waiters)
+    else
+      Ult.suspend (fun self ->
+          Metrics.incr_sync_blocks m.rt.metrics;
+          Queue.add self m.waiters)
 
   let try_lock m =
     if m.held then false
@@ -24,7 +37,9 @@ module Mutex = struct
   let unlock m =
     if not m.held then invalid_arg "Usync.Mutex.unlock: not locked";
     match Queue.take_opt m.waiters with
-    | Some next -> Runtime.ready m.rt next (* ownership handed over *)
+    | Some next ->
+        Metrics.incr_sync_wakeups m.rt.metrics;
+        Runtime.ready m.rt next (* ownership handed over *)
     | None -> m.held <- false
 
   let locked m = m.held
@@ -48,9 +63,16 @@ module Barrier = struct
       let blocked = b.blocked in
       b.blocked <- [];
       b.arrived <- 0;
-      List.iter (fun u -> Runtime.ready b.rt u) (List.rev blocked)
+      List.iter
+        (fun u ->
+          Metrics.incr_sync_wakeups b.rt.metrics;
+          Runtime.ready b.rt u)
+        (List.rev blocked)
     end
-    else Ult.suspend (fun self -> b.blocked <- self :: b.blocked)
+    else
+      Ult.suspend (fun self ->
+          Metrics.incr_sync_blocks b.rt.metrics;
+          b.blocked <- self :: b.blocked)
 
   let waiting b = List.length b.blocked
 end
@@ -67,13 +89,19 @@ module Ivar = struct
         t.value <- Some v;
         let readers = t.readers in
         t.readers <- [];
-        List.iter (fun u -> Runtime.ready t.rt u) (List.rev readers)
+        List.iter
+          (fun u ->
+            Metrics.incr_sync_wakeups t.rt.metrics;
+            Runtime.ready t.rt u)
+          (List.rev readers)
 
   let rec read t =
     match t.value with
     | Some v -> v
     | None ->
-        Ult.suspend (fun self -> t.readers <- self :: t.readers);
+        Ult.suspend (fun self ->
+            Metrics.incr_sync_blocks t.rt.metrics;
+            t.readers <- self :: t.readers);
         read t
 
   let peek t = t.value
@@ -90,13 +118,17 @@ module Channel = struct
     | [] -> ()
     | u :: rest ->
         t.readers <- rest;
+        Metrics.incr_sync_wakeups t.rt.metrics;
         Runtime.ready t.rt u
 
   let rec recv t =
     match Queue.take_opt t.items with
     | Some v -> v
     | None ->
-        Ult.suspend (fun self -> t.readers <- t.readers @ [ self ]);
+        Ult.suspend (fun self ->
+            Metrics.incr_sync_blocks t.rt.metrics;
+            t.readers <- t.readers @ [ self ])
+        ;
         recv t
 
   let length t = Queue.length t.items

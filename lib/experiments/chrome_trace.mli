@@ -1,0 +1,74 @@
+(** Chrome [trace_events] JSON exporter.
+
+    Converts a {!Desim.Trace} buffer (via {!Gantt} core occupancy) plus
+    an optional {!Preempt_core.Metrics.snapshot} into a file loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}:
+
+    - every occupied core span becomes a complete ("X") duration event
+      on track [tid = core] (so the Gantt chart renders natively),
+    - every other trace record (signals, migrations, worker
+      suspend/resume, load balancing) becomes an instant ("i") event,
+    - metric counters become one counter ("C") event per worker.
+
+    Timestamps are microseconds, as the format requires.  The output is
+    the JSON Object Format: [{"traceEvents": [...]}].
+
+    No external JSON library exists in this environment, so a minimal
+    parser ({!Json}) ships here too; the tests use it to validate the
+    exporter's output, and it is handy for consuming the files
+    programmatically. *)
+
+type arg = A_str of string | A_num of float
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;  (** "X" complete, "i" instant, "C" counter, "M" metadata *)
+  ts : float;  (** microseconds *)
+  dur : float option;  (** microseconds; ["X"] events only *)
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(** [of_trace ~cores trace] builds the event list.  [t_end] (default:
+    the last record's timestamp) closes still-open spans.  [metrics]
+    appends per-worker counter events at [t_end].  An empty trace with
+    no metrics yields [[]]. *)
+val of_trace :
+  cores:int ->
+  ?metrics:Preempt_core.Metrics.snapshot ->
+  ?t_end:float ->
+  Desim.Trace.t ->
+  event list
+
+(** Serialize to the Chrome JSON Object Format. *)
+val to_json : event list -> string
+
+(** [write ~path events] writes [to_json events] to [path]. *)
+val write : path:string -> event list -> unit
+
+(** [validate s] parses [s] and checks it is a trace-event object —
+    a JSON object with a ["traceEvents"] array whose elements all carry
+    ["ph"] (string), ["ts"] (number), ["pid"] and ["tid"] (numbers).
+    Returns the number of events, or a description of the first
+    problem. *)
+val validate : string -> (int, string) result
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (** Strict-enough JSON parser (objects, arrays, strings with escapes,
+      numbers, literals).  Returns [Error msg] with a character offset
+      on malformed input. *)
+  val parse : string -> (t, string) result
+
+  (** Object field lookup; [None] on missing key or non-object. *)
+  val member : string -> t -> t option
+end

@@ -26,3 +26,65 @@ let us v = Printf.sprintf "%.2f us" (v *. 1e6)
 let pct v = Printf.sprintf "%.2f%%" (v *. 100.0)
 
 let seconds v = Printf.sprintf "%.3f s" v
+
+(* ------------------------------------------------------------------ *)
+(* Observability requests (--metrics / --chrome-trace) from the repro
+   and bench front ends.  Experiments opt in by creating their kernels
+   through [Obs.kernel], their configs through [Obs.config], and calling
+   [Obs.capture rt] after each run; the front end then calls
+   [Obs.report ()] once, which prints the metrics of the last captured
+   run and/or writes its Chrome trace. *)
+module Obs = struct
+  let metrics : bool ref = ref false
+
+  let chrome_trace : string option ref = ref None
+
+  let requested () = !metrics || !chrome_trace <> None
+
+  let kernel eng machine =
+    if !chrome_trace <> None then begin
+      let tr = Desim.Trace.create () in
+      Desim.Trace.enable tr;
+      Oskern.Kernel.create ~trace:tr eng machine
+    end
+    else Oskern.Kernel.create eng machine
+
+  let config (c : Preempt_core.Config.t) =
+    if !metrics then { c with Preempt_core.Config.enable_metrics = true } else c
+
+  (* Latest instrumented run: (trace, cores, t_end, metrics snapshot). *)
+  let last : (Desim.Trace.t * int * float * Preempt_core.Metrics.snapshot) option ref =
+    ref None
+
+  let capture rt =
+    if requested () then begin
+      let kernel = Preempt_core.Runtime.kernel rt in
+      last :=
+        Some
+          ( Oskern.Kernel.trace kernel,
+            (Oskern.Kernel.machine kernel).Oskern.Machine.cores,
+            Oskern.Kernel.now kernel,
+            Preempt_core.Runtime.metrics rt )
+    end
+
+  let report () =
+    match !last with
+    | None ->
+        if requested () then
+          print_endline
+            "(--metrics/--chrome-trace: this experiment has no instrumented runtime run)"
+    | Some (tr, cores, t_end, snap) ->
+        if !metrics then begin
+          subheading "runtime metrics (--metrics, last configuration measured)";
+          print_string (Preempt_core.Metrics.summary snap)
+        end;
+        (match !chrome_trace with
+        | Some path ->
+            let events = Chrome_trace.of_trace ~cores ~metrics:snap ~t_end tr in
+            Chrome_trace.write ~path events;
+            Printf.printf
+              "chrome trace: %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n"
+              (List.length events) path
+        | None -> ());
+        last := None
+end

@@ -28,9 +28,11 @@ let measure ~workers ~strategy ~intervals =
   let eng = Engine.create () in
   (* Up to 112 workers: treat hyperthreads as cores, as the paper does. *)
   let machine = Machine.with_cores Machine.skylake workers in
-  let kernel = Kernel.create eng machine in
+  let kernel = Exputil.Obs.kernel eng machine in
   let interval = 1e-3 in
-  let config = { Config.default with Config.timer_strategy = strategy; interval } in
+  let config =
+    Exputil.Obs.config { Config.default with Config.timer_strategy = strategy; interval }
+  in
   let rt = Runtime.create ~config kernel ~n_workers:workers in
   let horizon = interval *. float_of_int (intervals + 2) in
   for i = 0 to workers - 1 do
@@ -43,6 +45,7 @@ let measure ~workers ~strategy ~intervals =
   done;
   Runtime.start rt;
   Engine.run ~until:horizon eng;
+  Exputil.Obs.capture rt;
   let s = Runtime.interrupt_stats rt in
   {
     workers;

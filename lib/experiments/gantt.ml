@@ -42,6 +42,20 @@ let of_trace ~cores trace =
     (Desim.Trace.records trace);
   { cores; lanes }
 
+let spans t ~t_end =
+  let out = ref [] in
+  for c = 0 to t.cores - 1 do
+    let close name t0 t1 = if name <> "" && t1 >= t0 then out := (c, name, t0, t1) :: !out in
+    let rec go cur = function
+      | [] -> ( match cur with Some (n, t0) -> close n t0 (Float.max t_end t0) | None -> ())
+      | seg :: rest ->
+          (match cur with Some (n, t0) -> close n t0 seg.from_t | None -> ());
+          go (if seg.name = "" then None else Some (seg.name, seg.from_t)) rest
+    in
+    go None (List.rev t.lanes.(c))
+  done;
+  List.rev !out
+
 let occupant t ~core ~time =
   if core < 0 || core >= t.cores then None
   else

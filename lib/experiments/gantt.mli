@@ -16,3 +16,9 @@ val render : ?width:int -> t0:float -> t1:float -> t -> string
 
 (** The KLT (if any) occupying [core] at [time] — for tests. *)
 val occupant : t -> core:int -> time:float -> string option
+
+(** [spans t ~t_end] flattens the lanes into occupied intervals
+    [(core, klt_name, t0, t1)], time-ascending within each core.  A span
+    still open at the end of the trace is closed at [t_end] (clamped so
+    [t1 >= t0]).  This is the input of the Chrome trace exporter. *)
+val spans : t -> t_end:float -> (int * string * float * float) list

@@ -43,10 +43,11 @@ let one_to_one machine ~preemptions =
 
 let mn machine ~kind ~preemptions =
   let eng = Engine.create () in
-  let kernel = Kernel.create eng (Machine.with_cores machine 1) in
+  let kernel = Exputil.Obs.kernel eng (Machine.with_cores machine 1) in
   let interval = 10e-3 in
   let config =
-    { Config.default with Config.timer_strategy = Config.Per_worker_aligned; interval }
+    Exputil.Obs.config
+      { Config.default with Config.timer_strategy = Config.Per_worker_aligned; interval }
   in
   let rt = Runtime.create ~config kernel ~n_workers:1 in
   let per_thread = float_of_int preemptions *. interval /. 2.0 in
@@ -57,6 +58,7 @@ let mn machine ~kind ~preemptions =
   done;
   Runtime.start rt;
   Engine.run eng;
+  Exputil.Obs.capture rt;
   let s = Runtime.preempt_latency_stats rt in
   if Stats.count s = 0 then 0.0 else Stats.median s
 

@@ -1,0 +1,177 @@
+(* The Chrome trace_events exporter: schema validity of a real export,
+   an exact round-trip of a hand-built three-span Gantt, and the empty
+   trace.  All JSON checks go through the bundled parser, as a consumer
+   of the files would. *)
+
+open Desim
+open Oskern
+open Preempt_core
+open Experiments
+
+module CT = Chrome_trace
+module J = Chrome_trace.Json
+
+let num j = match j with J.Num f -> f | _ -> Alcotest.fail "expected number"
+let str j = match j with J.Str s -> s | _ -> Alcotest.fail "expected string"
+
+let events_of_json s =
+  match J.parse s with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.Arr evs) -> evs
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let field name ev =
+  match J.member name ev with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s" name
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_gantt () =
+  (* Two cores, three occupied spans:
+       core0: A from 1ms to 3ms, C from 4ms to the 5ms horizon
+       core1: B from 2ms to the 5ms horizon *)
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.emit tr 1e-3 "dispatch" "A on core0";
+  Trace.emit tr 2e-3 "dispatch" "B on core1";
+  Trace.emit tr 3e-3 "exit" "A";
+  Trace.emit tr 4e-3 "dispatch" "C on core0";
+  let events = CT.of_trace ~cores:2 ~t_end:5e-3 tr in
+  let json = CT.to_json events in
+  (match CT.validate json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export rejected: %s" e);
+  let xs =
+    events_of_json json
+    |> List.filter (fun ev -> str (field "ph" ev) = "X")
+    |> List.map (fun ev ->
+           Printf.sprintf "%s tid=%.0f ts=%.1f dur=%.1f"
+             (str (field "name" ev))
+             (num (field "tid" ev))
+             (num (field "ts" ev))
+             (num (field "dur" ev)))
+    |> List.sort compare
+  in
+  (* Timestamps are microseconds in the file. *)
+  Alcotest.(check (list string)) "spans survive the round trip"
+    [
+      "A tid=0 ts=1000.0 dur=2000.0";
+      "B tid=1 ts=2000.0 dur=3000.0";
+      "C tid=0 ts=4000.0 dur=1000.0";
+    ]
+    xs
+
+let test_empty_trace () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let events = CT.of_trace ~cores:2 tr in
+  Alcotest.(check int) "no events" 0 (List.length events);
+  let json = CT.to_json events in
+  (match CT.validate json with
+  | Ok n -> Alcotest.(check int) "valid, zero events" 0 n
+  | Error e -> Alcotest.failf "empty export rejected: %s" e);
+  match J.parse json with
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.Arr []) -> ()
+      | _ -> Alcotest.fail "traceEvents is not the empty array")
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_real_export () =
+  (* A preemptive 2-worker run with kernel tracing and metrics on; the
+     export must pass the validator and contain every phase kind. *)
+  let eng = Engine.create () in
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let kernel = Kernel.create ~trace:tr eng (Machine.with_cores Machine.skylake 2) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+      enable_metrics = true;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:2 in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+         ~name:(Printf.sprintf "t%d" i)
+         (fun () -> Ult.compute 5e-3))
+  done;
+  Runtime.start rt;
+  Engine.run ~until:1.0 eng;
+  let events =
+    CT.of_trace ~cores:2 ~metrics:(Runtime.metrics rt) ~t_end:(Kernel.now kernel) tr
+  in
+  let json = CT.to_json events in
+  (match CT.validate json with
+  | Ok n ->
+      Alcotest.(check int) "validator count agrees" (List.length events) n;
+      Alcotest.(check bool) "nonempty" true (n > 0)
+  | Error e -> Alcotest.failf "real export rejected: %s" e);
+  let phases =
+    events_of_json json |> List.map (fun ev -> str (field "ph" ev))
+  in
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) (Printf.sprintf "has %s events" ph) true
+        (List.mem ph phases))
+    [ "X"; "i"; "C"; "M" ];
+  (* Every ts is finite and non-negative; X durs are non-negative. *)
+  List.iter
+    (fun ev ->
+      let ts = num (field "ts" ev) in
+      Alcotest.(check bool) "ts sane" true (Float.is_finite ts && ts >= 0.0);
+      if str (field "ph" ev) = "X" then
+        Alcotest.(check bool) "dur sane" true (num (field "dur" ev) >= 0.0))
+    (events_of_json json)
+
+let test_validator_rejects () =
+  let bad =
+    [
+      ("not json", "nonsense");
+      ("no traceEvents", {|{"foo": []}|});
+      ("traceEvents not array", {|{"traceEvents": 3}|});
+      ("event missing ph", {|{"traceEvents":[{"ts":1,"pid":1,"tid":0}]}|});
+      ("event ts not number", {|{"traceEvents":[{"ph":"X","ts":"one","pid":1,"tid":0}]}|});
+      ("trailing garbage", {|{"traceEvents":[]} extra|});
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      match CT.validate s with
+      | Ok _ -> Alcotest.failf "%s: accepted" label
+      | Error _ -> ())
+    bad
+
+let test_json_parser () =
+  (* Escapes, nesting, numbers. *)
+  (match J.parse {|{"a": [1, -2.5e3, true, null, "x\nA"], "b": {"c": ""}}|} with
+  | Ok j -> (
+      (match J.member "a" j with
+      | Some (J.Arr [ J.Num 1.0; J.Num -2500.0; J.Bool true; J.Null; J.Str s ]) ->
+          Alcotest.(check string) "escapes decoded" "x\nA" s
+      | _ -> Alcotest.fail "array mismatch");
+      match J.member "b" j with
+      | Some inner -> (
+          match J.member "c" inner with
+          | Some (J.Str "") -> ()
+          | _ -> Alcotest.fail "nested member")
+      | None -> Alcotest.fail "missing b")
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match J.parse "[1," with
+  | Ok _ -> Alcotest.fail "accepted truncated input"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "gantt round trip" `Quick test_roundtrip_gantt;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+    Alcotest.test_case "real export validates" `Quick test_real_export;
+    Alcotest.test_case "validator rejects malformed" `Quick test_validator_rejects;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+  ]

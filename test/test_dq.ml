@@ -94,9 +94,81 @@ let prop_deque_model =
         ops;
       !ok && Dq.to_list q = !model)
 
+let test_model_10k () =
+  (* 10,000 seeded operations over the full API — pushes, pops from both
+     ends, predicate removal, occasional clear — checked move-by-move
+     against a list model.  Deterministic (Desim.Rng), so a failure
+     reproduces exactly. *)
+  let rng = Desim.Rng.make 20260806 in
+  let q = Dq.create () in
+  let model = ref [] in
+  let step op =
+    match op with
+    | 0 | 1 | 2 ->
+        let v = Desim.Rng.int rng 50 in
+        Dq.push_back q v;
+        model := !model @ [ v ]
+    | 3 | 4 ->
+        let v = Desim.Rng.int rng 50 in
+        Dq.push_front q v;
+        model := v :: !model
+    | 5 | 6 -> (
+        let got = Dq.pop_front q in
+        match !model with
+        | [] -> if got <> None then Alcotest.fail "pop_front on empty"
+        | x :: rest ->
+            model := rest;
+            if got <> Some x then Alcotest.failf "pop_front: got wrong element"
+        )
+    | 7 | 8 -> (
+        let got = Dq.pop_back q in
+        match List.rev !model with
+        | [] -> if got <> None then Alcotest.fail "pop_back on empty"
+        | x :: rest ->
+            model := List.rev rest;
+            if got <> Some x then Alcotest.failf "pop_back: got wrong element")
+    | 9 ->
+        let target = Desim.Rng.int rng 50 in
+        let got = Dq.remove q (fun x -> x = target) in
+        let expect =
+          if List.mem target !model then begin
+            let removed = ref false in
+            model :=
+              List.filter
+                (fun x ->
+                  if (not !removed) && x = target then begin
+                    removed := true;
+                    false
+                  end
+                  else true)
+                !model;
+            Some target
+          end
+          else None
+        in
+        if got <> expect then Alcotest.failf "remove %d mismatch" target
+    | _ ->
+        Dq.clear q;
+        model := []
+  in
+  for i = 1 to 10_000 do
+    (* clear is rare: op 10 only on a 1-in-500 side roll *)
+    let op = Desim.Rng.int rng 10 in
+    let op = if op = 9 && Desim.Rng.int rng 50 = 0 then 10 else op in
+    step op;
+    if Dq.length q <> List.length !model then
+      Alcotest.failf "length diverged at op %d" i;
+    if Dq.is_empty q <> (!model = []) then
+      Alcotest.failf "is_empty diverged at op %d" i;
+    if i mod 1000 = 0 && Dq.to_list q <> !model then
+      Alcotest.failf "contents diverged at op %d" i
+  done;
+  Alcotest.(check (list int)) "final contents" !model (Dq.to_list q)
+
 let suite =
   [
     Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "model x10k seeded" `Quick test_model_10k;
     Alcotest.test_case "lifo" `Quick test_lifo;
     Alcotest.test_case "steal pattern" `Quick test_steal_pattern;
     Alcotest.test_case "push_front" `Quick test_push_front;

@@ -33,4 +33,6 @@ let () =
       ("abt", Test_abt.suite);
       ("syscalls", Test_syscalls.suite);
       ("api-surface", Test_api_surface.suite);
+      ("metrics", Test_metrics.suite);
+      ("chrome-trace", Test_chrome_trace.suite);
     ]

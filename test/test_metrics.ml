@@ -1,0 +1,229 @@
+(* The observability layer: histogram bucketing exactness, counter
+   monotonicity under a real preemptive workload, snapshot determinism
+   across identical seeded runs, and the zero-recording disabled path. *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+module H = Metrics.Hist
+
+(* ------------------------------------------------------------------ *)
+(* Histogram unit tests. *)
+
+let test_bucket_boundaries () =
+  (* A value exactly at a bucket's lower edge lands in that bucket, and
+     the value just below (the previous upper edge shrunk one ulp) does
+     not — exhaustively, for every core bucket. *)
+  for b = 1 to H.n_buckets - 2 do
+    let lo, hi = H.bucket_bounds b in
+    Alcotest.(check int) (Printf.sprintf "lower edge of bucket %d" b) b (H.bucket_of lo);
+    let below = Float.pred lo in
+    Alcotest.(check int)
+      (Printf.sprintf "just below lower edge of bucket %d" b)
+      (b - 1) (H.bucket_of below);
+    (* The upper edge belongs to the next bucket. *)
+    if b < H.n_buckets - 2 then
+      Alcotest.(check int) (Printf.sprintf "upper edge of bucket %d" b) (b + 1) (H.bucket_of hi)
+  done
+
+let test_bucket_extremes () =
+  Alcotest.(check int) "zero underflows" 0 (H.bucket_of 0.0);
+  Alcotest.(check int) "negative underflows" 0 (H.bucket_of (-1.0));
+  Alcotest.(check int) "sub-ns underflows" 0 (H.bucket_of 1e-12);
+  Alcotest.(check int) "nan underflows" 0 (H.bucket_of Float.nan);
+  Alcotest.(check int) "huge overflows" (H.n_buckets - 1) (H.bucket_of 1e9);
+  Alcotest.(check int) "inf overflows" (H.n_buckets - 1) (H.bucket_of infinity);
+  (* 1e2 is the exclusive top of the covered range. *)
+  Alcotest.(check int) "range top overflows" (H.n_buckets - 1) (H.bucket_of 100.0);
+  (* 1 ns is the inclusive bottom: first core bucket. *)
+  Alcotest.(check int) "range bottom" 1 (H.bucket_of 1e-9)
+
+let test_hist_add_count_percentile () =
+  let h = H.create () in
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Metrics.Hist.percentile: empty histogram") (fun () ->
+      ignore (H.percentile h 50.0));
+  for _ = 1 to 90 do
+    H.add h 1e-6
+  done;
+  for _ = 1 to 10 do
+    H.add h 1e-3
+  done;
+  Alcotest.(check int) "count" 100 (H.count h);
+  Alcotest.(check (float 1e-12)) "sum" (90. *. 1e-6 +. 10. *. 1e-3) (H.sum h);
+  let lo50, hi50 = H.bucket_bounds (H.bucket_of 1e-6) in
+  Alcotest.(check (float 1e-12)) "p50 is the 1us bucket midpoint" (sqrt (lo50 *. hi50))
+    (H.percentile h 50.0);
+  let lo99, hi99 = H.bucket_bounds (H.bucket_of 1e-3) in
+  Alcotest.(check (float 1e-12)) "p99 is the 1ms bucket midpoint" (sqrt (lo99 *. hi99))
+    (H.percentile h 99.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Metrics.Hist.percentile: p outside [0,100]") (fun () ->
+      ignore (H.percentile h 101.0));
+  (* nonzero rows account for every sample. *)
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 (H.nonzero h) in
+  Alcotest.(check int) "nonzero covers all" 100 total
+
+(* ------------------------------------------------------------------ *)
+(* Runtime integration. *)
+
+let run_workload ?(enable = true) ?(seed = 42) () =
+  let eng = Engine.create ~seed () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+      enable_metrics = enable;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:2 in
+  let mid = ref None in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           Ult.compute 6e-3;
+           ignore (Ult.blocking_io 2e-3);
+           Ult.compute 2e-3))
+  done;
+  ignore (Engine.after eng 5e-3 (fun () -> mid := Some (Runtime.metrics rt)));
+  Runtime.start rt;
+  Engine.run ~until:10.0 eng;
+  (rt, Runtime.metrics rt, !mid)
+
+let ge_counters label (a : Metrics.wcounters) (b : Metrics.wcounters) =
+  let check field av bv =
+    if av < bv then
+      Alcotest.failf "%s: %s decreased (%d -> %d)" label field bv av
+  in
+  check "preempts" a.Metrics.preempts b.Metrics.preempts;
+  check "signal_yields" a.Metrics.signal_yields b.Metrics.signal_yields;
+  check "klt_switches" a.Metrics.klt_switches b.Metrics.klt_switches;
+  check "pool_gets" a.Metrics.pool_gets b.Metrics.pool_gets;
+  check "pool_puts" a.Metrics.pool_puts b.Metrics.pool_puts;
+  check "steals" a.Metrics.steals b.Metrics.steals;
+  check "timer_fires" a.Metrics.timer_fires b.Metrics.timer_fires;
+  check "io_restarts" a.Metrics.io_restarts b.Metrics.io_restarts
+
+let test_counters_monotonic_and_nonzero () =
+  let rt, final, mid = run_workload () in
+  let mid = Option.get mid in
+  (* Every counter is monotone: final >= mid-run snapshot, per worker
+     and in total. *)
+  ge_counters "totals" final.Metrics.s_totals mid.Metrics.s_totals;
+  Array.iteri
+    (fun r c -> ge_counters (Printf.sprintf "worker%d" r) c mid.Metrics.s_workers.(r))
+    final.Metrics.s_workers;
+  (* The acceptance check: a KLT-switching workload reports nonzero
+     preemptions with a real signal-to-switch latency distribution. *)
+  let t = final.Metrics.s_totals in
+  Alcotest.(check bool) "preempts > 0" true (t.Metrics.preempts > 0);
+  Alcotest.(check bool) "klt switches > 0" true (t.Metrics.klt_switches > 0);
+  Alcotest.(check bool) "pool gets > 0" true (t.Metrics.pool_gets > 0);
+  Alcotest.(check bool) "timer fires > 0" true (t.Metrics.timer_fires > 0);
+  Alcotest.(check bool) "io restarts > 0" true (t.Metrics.io_restarts > 0);
+  Alcotest.(check bool) "sig->switch sampled" true
+    (H.count final.Metrics.s_sig_to_switch > 0);
+  let p50 = H.percentile final.Metrics.s_sig_to_switch 50.0 in
+  let p99 = H.percentile final.Metrics.s_sig_to_switch 99.0 in
+  Alcotest.(check bool) "p50 > 0" true (p50 > 0.0);
+  Alcotest.(check bool) "p99 >= p50" true (p99 >= p50);
+  Alcotest.(check bool) "quanta recorded" true (H.count final.Metrics.s_run_quantum > 0);
+  Alcotest.(check bool) "sched delays recorded" true
+    (H.count final.Metrics.s_sched_delay > 0);
+  (* The runtime's own counters agree with the metric totals. *)
+  Alcotest.(check int) "preempt_signals agrees" (Runtime.preempt_signals rt)
+    t.Metrics.preempts;
+  Alcotest.(check int) "klt_switches agrees" (Runtime.klt_switches rt) t.Metrics.klt_switches
+
+let test_snapshot_deterministic () =
+  let _, s1, m1 = run_workload ~seed:7 () in
+  let _, s2, m2 = run_workload ~seed:7 () in
+  Alcotest.(check bool) "final snapshots identical" true (s1 = s2);
+  Alcotest.(check bool) "mid-run snapshots identical" true (m1 = m2)
+
+let test_disabled_records_nothing () =
+  let _, s, _ = run_workload ~enable:false () in
+  let t = s.Metrics.s_totals in
+  Alcotest.(check int) "no preempts" 0 t.Metrics.preempts;
+  Alcotest.(check int) "no sigyields" 0 t.Metrics.signal_yields;
+  Alcotest.(check int) "no klt switches" 0 t.Metrics.klt_switches;
+  Alcotest.(check int) "no pool gets" 0 t.Metrics.pool_gets;
+  Alcotest.(check int) "no pool puts" 0 t.Metrics.pool_puts;
+  Alcotest.(check int) "no steals" 0 t.Metrics.steals;
+  Alcotest.(check int) "no timer fires" 0 t.Metrics.timer_fires;
+  Alcotest.(check int) "no io restarts" 0 t.Metrics.io_restarts;
+  Alcotest.(check int) "no sync blocks" 0 s.Metrics.s_sync_blocks;
+  Alcotest.(check int) "no sync wakeups" 0 s.Metrics.s_sync_wakeups;
+  Alcotest.(check int) "empty sig->switch" 0 (H.count s.Metrics.s_sig_to_switch);
+  Alcotest.(check int) "empty sched delay" 0 (H.count s.Metrics.s_sched_delay);
+  Alcotest.(check int) "empty run quantum" 0 (H.count s.Metrics.s_run_quantum)
+
+let test_enable_midway () =
+  (* set_metrics_enabled mid-run starts recording without garbage from
+     stale timestamps. *)
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 1e-3;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:1 in
+  for i = 0 to 1 do
+    ignore
+      (Runtime.spawn rt ~kind:Types.Signal_yield ~home:0
+         ~name:(Printf.sprintf "m%d" i)
+         (fun () -> Ult.compute 8e-3))
+  done;
+  ignore (Engine.after eng 4e-3 (fun () -> Runtime.set_metrics_enabled rt true));
+  Runtime.start rt;
+  Engine.run ~until:10.0 eng;
+  let s = Runtime.metrics rt in
+  Alcotest.(check bool) "recorded after enabling" true
+    (s.Metrics.s_totals.Metrics.preempts > 0);
+  (* No sched-delay sample can exceed the elapsed virtual time (a stale
+     pre-enable timestamp would). *)
+  Array.iter
+    (fun (_, hi, c) ->
+      if c > 0 then
+        Alcotest.(check bool) "sched delay plausible" true
+          (hi <= Engine.now eng || hi = infinity))
+    (H.nonzero s.Metrics.s_sched_delay)
+
+let test_usync_counters () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  let config = { Config.default with Config.enable_metrics = true } in
+  let rt = Runtime.create ~config kernel ~n_workers:2 in
+  let m = Usync.Mutex.create rt in
+  for i = 0 to 3 do
+    ignore
+      (Runtime.spawn rt ~home:0 ~name:(Printf.sprintf "l%d" i) (fun () ->
+           Usync.Mutex.lock m;
+           Ult.compute 1e-3;
+           Usync.Mutex.unlock m))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  let s = Runtime.metrics rt in
+  Alcotest.(check int) "three blocked" 3 s.Metrics.s_sync_blocks;
+  Alcotest.(check int) "three handoffs" 3 s.Metrics.s_sync_wakeups
+
+let suite =
+  [
+    Alcotest.test_case "bucket edges exact" `Quick test_bucket_boundaries;
+    Alcotest.test_case "bucket extremes" `Quick test_bucket_extremes;
+    Alcotest.test_case "hist add/percentile" `Quick test_hist_add_count_percentile;
+    Alcotest.test_case "counters monotone + nonzero" `Quick test_counters_monotonic_and_nonzero;
+    Alcotest.test_case "snapshot deterministic" `Quick test_snapshot_deterministic;
+    Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "enable mid-run" `Quick test_enable_midway;
+    Alcotest.test_case "usync block/wakeup counters" `Quick test_usync_counters;
+  ]

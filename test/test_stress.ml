@@ -96,15 +96,20 @@ let prop_deterministic_replay =
       && Kernel.signals_delivered k1 = Kernel.signals_delivered k2)
 
 (* Mixed sync stress: threads hammer a mutex, a barrier and a channel
-   under preemption; deadlock-free completion is the invariant. *)
+   under KLT-switching preemption at a deliberately aggressive timer
+   interval (0.3 ms, vs the 10 ms production default); deadlock-free
+   completion with no lost wakeup is the invariant.  8 threads x 40
+   iterations x 4 sync ops ≈ 1280 operations. *)
 let test_sync_stress_under_preemption () =
+  let iters = 40 in
   let eng = Engine.create ~seed:99 () in
   let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 4) in
   let config =
     {
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
-      interval = 0.5e-3;
+      interval = 0.3e-3;
+      enable_metrics = true;
     }
   in
   let rt = Runtime.create ~config kernel ~n_workers:4 in
@@ -117,7 +122,7 @@ let test_sync_stress_under_preemption () =
       (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 4)
          ~name:(Printf.sprintf "x%d" i)
          (fun () ->
-           for _ = 1 to 5 do
+           for _ = 1 to iters do
              Usync.Mutex.lock m;
              Ult.compute 3e-4;
              incr counter;
@@ -128,9 +133,15 @@ let test_sync_stress_under_preemption () =
            done))
   done;
   Runtime.start rt;
-  Engine.run ~until:30.0 eng;
-  Alcotest.(check int) "all iterations done" 40 !counter;
-  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt)
+  Engine.run ~until:120.0 eng;
+  Alcotest.(check int) "all iterations done" (8 * iters) !counter;
+  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt);
+  let s = Runtime.metrics rt in
+  Alcotest.(check bool) "preemption actually happened" true
+    (s.Metrics.s_totals.Metrics.preempts > 0);
+  Alcotest.(check bool) "sync layer exercised" true (s.Metrics.s_sync_blocks > 0);
+  Alcotest.(check int) "every sync block woken" s.Metrics.s_sync_blocks
+    s.Metrics.s_sync_wakeups
 
 (* Packing stress: shrink and grow the active worker count while a
    preemptive workload runs. *)
