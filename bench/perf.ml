@@ -1,0 +1,344 @@
+(* Perf-regression harness for the engine/runtime hot paths.
+
+   Times the paths every experiment in the repro leans on — engine event
+   dispatch, ULT spawn/yield, the two preemption round-trips
+   (signal-yield and KLT-switching), usync ops, the fiber deque, and the
+   fig4/fig6 fast presets — and emits a machine-readable JSON report
+   (BENCH_core.json).  A compare mode diffs a fresh run against a
+   committed baseline with a tolerance band, so `dune build @perf-smoke`
+   fails when a tracked metric regresses.
+
+     perf run   [--out FILE] [--baseline FILE] [--quick]
+     perf compare --baseline FILE --current FILE [--tolerance T]
+     perf check [--baseline FILE] [--tolerance T] [--quick]
+
+   All simulated-runtime entries are deterministic in *virtual* time;
+   what varies between machines is the wall clock per simulated event,
+   which is exactly what this harness tracks.  See README.md
+   ("Performance tracking") for the workflow. *)
+
+open Desim
+open Oskern
+open Preempt_core
+
+let wall = Unix.gettimeofday
+
+type entry = { name : string; ops : float; wall_s : float }
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark bodies.  Each returns the number of "operations" it
+   performed; the driver measures wall time around it. *)
+
+(* Pure engine dispatch: self-rescheduling callback chains over a heap
+   with background depth, plus the schedule-then-cancel churn the kernel
+   slice/chunk machinery generates on every dispatch. *)
+let engine_dispatch ~scale () =
+  let eng = Engine.create () in
+  (* Backlog far in the future: keeps the heap a few levels deep. *)
+  for i = 0 to 255 do
+    ignore (Engine.after eng (1e6 +. float_of_int i) (fun () -> ()))
+  done;
+  let chains = 8 in
+  let per = 25_000 * scale in
+  for c = 0 to chains - 1 do
+    let count = ref 0 in
+    let rec step () =
+      incr count;
+      let decoy = Engine.after eng 1.0 (fun () -> ()) in
+      ignore (Engine.cancel decoy);
+      if !count < per then ignore (Engine.after eng 1e-6 (fun () -> step ()))
+    in
+    ignore (Engine.after eng (1e-6 *. float_of_int c) (fun () -> step ()))
+  done;
+  Engine.run ~until:1e3 eng;
+  float_of_int (Engine.events_processed eng)
+
+(* ULT spawn + cooperative yield throughput on the simulated M:N
+   runtime (the scheduler-loop fast path, no preemption). *)
+let spawn_yield ~scale () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 4) in
+  let rt = Runtime.create kernel ~n_workers:4 in
+  let threads = 64 and yields = 400 * scale in
+  for i = 0 to threads - 1 do
+    ignore
+      (Runtime.spawn rt ~home:(i mod 4) ~name:(Printf.sprintf "y%d" i) (fun () ->
+           for _ = 1 to yields do
+             Ult.yield ()
+           done))
+  done;
+  Runtime.start rt;
+  Engine.run eng;
+  float_of_int (threads * yields)
+
+(* Preemption round-trip: spinning preemptive threads under per-worker
+   aligned timers; ops = preemption signals honored. *)
+let preempt_roundtrip ~kind ~scale () =
+  let workers = 8 in
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake workers) in
+  let interval = 1e-3 in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval;
+      suspend_mode = Config.Futex_suspend;
+      use_local_klt_pool = true;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:workers in
+  let horizon = interval *. float_of_int (250 * scale) in
+  for i = 0 to (2 * workers) - 1 do
+    ignore
+      (Runtime.spawn rt ~kind ~footprint:0.0 ~home:(i mod workers)
+         ~name:(Printf.sprintf "spin%d" i)
+         (fun () -> Ult.compute (horizon +. 1.0)))
+  done;
+  Runtime.start rt;
+  Engine.run ~until:horizon eng;
+  float_of_int (Runtime.preempt_signals rt)
+
+(* User-level sync: mutex hand-offs and channel send/recv pairs. *)
+let usync_ops ~scale () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  let rt = Runtime.create kernel ~n_workers:2 in
+  let rounds = 10_000 * scale in
+  let m = Usync.Mutex.create rt in
+  let ch = Usync.Channel.create rt in
+  for i = 0 to 1 do
+    ignore
+      (Runtime.spawn rt ~home:i ~name:(Printf.sprintf "lk%d" i) (fun () ->
+           for _ = 1 to rounds do
+             Usync.Mutex.lock m;
+             Ult.compute 1e-8;
+             Usync.Mutex.unlock m
+           done))
+  done;
+  ignore
+    (Runtime.spawn rt ~home:0 ~name:"producer" (fun () ->
+         for k = 1 to rounds do
+           Usync.Channel.send ch k;
+           if k mod 64 = 0 then Ult.yield ()
+         done));
+  ignore
+    (Runtime.spawn rt ~home:1 ~name:"consumer" (fun () ->
+         for _ = 1 to rounds do
+           ignore (Usync.Channel.recv ch)
+         done));
+  Runtime.start rt;
+  Engine.run eng;
+  float_of_int (6 * rounds)
+
+(* The real (native-parallel) fiber runtime's deque, single-threaded:
+   owner push/pop plus the steal path. *)
+let fiber_deque_ops ~scale () =
+  let d = Fiber.Deque.create () in
+  let n = 200_000 * scale in
+  for i = 1 to n do
+    Fiber.Deque.push d i
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Fiber.Deque.pop d)
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Fiber.Deque.steal d)
+  done;
+  float_of_int (2 * n)
+
+(* Fast presets of the two figures whose sweeps dominate bench wall
+   time; ops = 1, the metric is the preset's wall clock itself. *)
+let fig4_fast () =
+  ignore (Experiments.Fig4_interrupt.series ~fast:true ());
+  1.0
+
+let fig6_fast () =
+  ignore (Experiments.Fig6_overhead.series_for Machine.skylake ~fast:true ());
+  1.0
+
+(* ------------------------------------------------------------------ *)
+(* Driver. *)
+
+let benchmarks ~quick =
+  let scale = if quick then 1 else 2 in
+  [
+    ("engine_dispatch", engine_dispatch ~scale);
+    ("spawn_yield", spawn_yield ~scale);
+    ("preempt_signal_yield", preempt_roundtrip ~kind:Types.Signal_yield ~scale);
+    ("preempt_klt_switch", preempt_roundtrip ~kind:Types.Klt_switching ~scale);
+    ("usync_ops", usync_ops ~scale);
+    ("fiber_deque_ops", fiber_deque_ops ~scale);
+    ("fig4_fast_preset", fig4_fast);
+    ("fig6_fast_preset", fig6_fast);
+  ]
+
+let measure ~reps (name, f) =
+  (* Warm-up run, then best-of-[reps]: minimizes GC/scheduling noise
+     while keeping the harness fast enough for a smoke alias. *)
+  ignore (f ());
+  let best = ref infinity in
+  let ops = ref 0.0 in
+  for _ = 1 to reps do
+    let t0 = wall () in
+    ops := f ();
+    let dt = wall () -. t0 in
+    if dt < !best then best := dt
+  done;
+  Printf.printf "  %-22s %10.0f ops  %8.3f s  %10.1f ns/op\n%!" name !ops !best
+    (!best /. !ops *. 1e9);
+  { name; ops = !ops; wall_s = !best }
+
+(* ------------------------------------------------------------------ *)
+(* JSON in and out. *)
+
+let json_of_entries ~preset ~baseline entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"preempt-perf/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"preset\": %S,\n" preset);
+  Buffer.add_string buf "  \"entries\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i e ->
+      let base = List.assoc_opt e.name baseline in
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": %S, \"ops\": %.0f, \"wall_s\": %.6f, \"ns_per_op\": %.2f"
+           e.name e.ops e.wall_s
+           (e.wall_s /. e.ops *. 1e9));
+      (match base with
+      | Some b ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\n      \"baseline_wall_s\": %.6f, \"baseline_ns_per_op\": %.2f, \
+                \"improvement_pct\": %.1f"
+               b.wall_s
+               (b.wall_s /. b.ops *. 1e9)
+               ((b.wall_s -. e.wall_s) /. b.wall_s *. 100.0))
+      | None -> ());
+      Buffer.add_string buf (if i = n - 1 then " }\n" else " },\n"))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let load_entries path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let open Experiments.Chrome_trace.Json in
+  match parse s with
+  | Error msg -> failwith (Printf.sprintf "%s: JSON parse error: %s" path msg)
+  | Ok j -> (
+      match member "entries" j with
+      | Some (Arr es) ->
+          List.filter_map
+            (fun e ->
+              match (member "name" e, member "ops" e, member "wall_s" e) with
+              | Some (Str name), Some (Num ops), Some (Num wall_s) ->
+                  Some (name, { name; ops; wall_s })
+              | _ -> None)
+            es
+      | _ -> failwith (Printf.sprintf "%s: no \"entries\" array" path))
+
+(* ------------------------------------------------------------------ *)
+(* Compare: current vs baseline within a tolerance band. *)
+
+(* Compare ns/op, not raw wall time: the quick preset runs fewer ops
+   than the default preset the committed baseline was captured with, so
+   per-op cost is the only scale-invariant metric. *)
+let compare_entries ~tolerance ~baseline ~current =
+  let regressions = ref [] in
+  let ns_per_op e = e.wall_s /. e.ops *. 1e9 in
+  Printf.printf "%-22s %14s %14s %9s\n" "entry" "base ns/op" "cur ns/op" "delta";
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "%-22s %14s %12.2f %9s\n" name "(new)" (ns_per_op cur) "-"
+      | Some b ->
+          let delta = (ns_per_op cur -. ns_per_op b) /. ns_per_op b in
+          let flag =
+            if delta > tolerance then begin
+              regressions := name :: !regressions;
+              "  REGRESSED"
+            end
+            else ""
+          in
+          Printf.printf "%-22s %14.2f %14.2f %+8.1f%%%s\n" name (ns_per_op b) (ns_per_op cur)
+            (delta *. 100.0) flag)
+    current;
+  match !regressions with
+  | [] ->
+      Printf.printf "perf-smoke: OK (tolerance %.0f%%)\n" (tolerance *. 100.0);
+      true
+  | names ->
+      Printf.printf "perf-smoke: FAIL — %s regressed beyond %.0f%%\n"
+        (String.concat ", " (List.rev names))
+        (tolerance *. 100.0);
+      false
+
+(* ------------------------------------------------------------------ *)
+(* CLI. *)
+
+let usage () =
+  print_endline
+    "usage: perf run [--out FILE] [--baseline FILE] [--quick]\n\
+    \       perf compare --baseline FILE --current FILE [--tolerance T]\n\
+    \       perf check [--baseline FILE] [--tolerance T] [--quick]";
+  exit 2
+
+let arg_value args key =
+  let rec go = function
+    | k :: v :: _ when k = key -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go args
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "run" :: args ->
+      let quick = List.mem "--quick" args in
+      let out = Option.value ~default:"BENCH_core.json" (arg_value args "--out") in
+      let baseline =
+        match arg_value args "--baseline" with Some p -> load_entries p | None -> []
+      in
+      let selected =
+        match arg_value args "--only" with
+        | None -> benchmarks ~quick
+        | Some names ->
+            let wanted = String.split_on_char ',' names in
+            List.filter (fun (n, _) -> List.mem n wanted) (benchmarks ~quick)
+      in
+      Printf.printf "perf run (%s preset)\n" (if quick then "quick" else "default");
+      let entries = List.map (measure ~reps:(if quick then 1 else 3)) selected in
+      let json =
+        json_of_entries ~preset:(if quick then "quick" else "default") ~baseline entries
+      in
+      let oc = open_out out in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+  | _ :: "compare" :: args -> (
+      match (arg_value args "--baseline", arg_value args "--current") with
+      | Some b, Some c ->
+          let tolerance =
+            Option.value ~default:0.35
+              (Option.bind (arg_value args "--tolerance") float_of_string_opt)
+          in
+          if not (compare_entries ~tolerance ~baseline:(load_entries b) ~current:(load_entries c))
+          then exit 1
+      | _ -> usage ())
+  | _ :: "check" :: args ->
+      let quick = true in
+      let baseline_path = Option.value ~default:"BENCH_core.json" (arg_value args "--baseline") in
+      let tolerance =
+        Option.value ~default:0.5
+          (Option.bind (arg_value args "--tolerance") float_of_string_opt)
+      in
+      Printf.printf "perf check vs %s\n" baseline_path;
+      let baseline = load_entries baseline_path in
+      let entries = List.map (measure ~reps:2) (benchmarks ~quick) in
+      let current = List.map (fun e -> (e.name, e)) entries in
+      if not (compare_entries ~tolerance ~baseline ~current) then exit 1
+  | _ -> usage ()

@@ -9,17 +9,19 @@ let to_types_kind = function
   | Preemptive_signal_yield -> Types.Signal_yield
   | Preemptive_klt_switching -> Types.Klt_switching
 
-let init ?scheduler ?preemption kernel ~num_xstreams () =
+let init ?scheduler ?preemption ?suspend_mode ?timer_strategy kernel ~num_xstreams () =
   let config =
     match preemption with
-    | None -> Config.default
+    | None -> Config.make ?suspend_mode ?timer_strategy ()
     | Some interval ->
-        if interval <= 0.0 then invalid_arg "Abt.init: preemption interval <= 0";
-        {
-          Config.default with
-          Config.timer_strategy = Config.Per_worker_aligned;
-          interval;
-        }
+        (* A preemption interval arms per-worker aligned timers unless a
+           strategy is chosen explicitly. *)
+        let timer_strategy =
+          match timer_strategy with
+          | Some s -> s
+          | None -> Config.Per_worker_aligned
+        in
+        Config.make ~timer_strategy ~interval ?suspend_mode ()
   in
   let rt = Runtime.create ~config ?scheduler kernel ~n_workers:num_xstreams in
   Runtime.start rt;

@@ -22,10 +22,16 @@ type kind =
   | Preemptive_klt_switching
 
 (** [init kernel ~num_xstreams ()] builds and starts a runtime.
-    [preemption] arms per-worker aligned timers at the given interval. *)
+    [preemption] arms preemption timers at the given interval —
+    per-worker aligned unless [timer_strategy] chooses otherwise.
+    [suspend_mode]/[timer_strategy] default to {!Config.default}'s.
+    The configuration goes through {!Config.make}, so invalid values
+    raise [Invalid_argument]. *)
 val init :
   ?scheduler:Types.scheduler ->
   ?preemption:float ->
+  ?suspend_mode:Config.suspend_mode ->
+  ?timer_strategy:Config.timer_strategy ->
   Oskern.Kernel.t ->
   num_xstreams:int ->
   unit ->

@@ -28,7 +28,7 @@ type t = {
   local_pool_capacity : int;
   idle_poll : float;  (** scheduler spin granularity when out of work *)
   autostop : bool;  (** stop workers when no unfinished ULTs remain *)
-  enable_metrics : bool;
+  metrics_enabled : bool;
       (** record {!Metrics} counters and latency histograms; off by
           default — the disabled path is a single branch per hook *)
 }
@@ -42,8 +42,39 @@ let default =
     local_pool_capacity = 2;
     idle_poll = 10e-6;
     autostop = true;
-    enable_metrics = false;
+    metrics_enabled = false;
   }
+
+(* [not (x > 0.0)] also catches NaN. *)
+let validate c =
+  if not (c.interval > 0.0) then invalid_arg "Config: interval must be positive";
+  if c.local_pool_capacity < 0 then invalid_arg "Config: local_pool_capacity < 0";
+  if not (c.idle_poll > 0.0) then invalid_arg "Config: idle_poll must be positive";
+  c
+
+let make ?(timer_strategy = default.timer_strategy) ?(interval = default.interval)
+    ?(suspend_mode = default.suspend_mode)
+    ?(use_local_klt_pool = default.use_local_klt_pool)
+    ?(local_pool_capacity = default.local_pool_capacity)
+    ?(idle_poll = default.idle_poll) ?(autostop = default.autostop) ?enable_metrics
+    ?metrics_enabled () =
+  let metrics_enabled =
+    match (metrics_enabled, enable_metrics) with
+    | Some b, _ -> b
+    | None, Some b -> b
+    | None, None -> default.metrics_enabled
+  in
+  validate
+    {
+      timer_strategy;
+      interval;
+      suspend_mode;
+      use_local_klt_pool;
+      local_pool_capacity;
+      idle_poll;
+      autostop;
+      metrics_enabled;
+    }
 
 (* The paper's §3.4 guidance on choosing a thread type, as a function:
    nonpreemptive when no preemption is needed (cheapest); signal-yield

@@ -1,0 +1,68 @@
+(* Growable int-keyed tables for the runtime's per-KLT maps.
+
+   KLT ids are small sequential ints, so a flat array beats a Hashtbl on
+   every hot lookup: no hashing, no bucket chase, and [find] returns the
+   stored option without allocating.  [Float] is the fully unboxed
+   variant for float-valued maps (NaN encodes absence), used on the
+   signal-post path where even a [Some] per timer fire would churn. *)
+
+type 'a t = { mutable data : 'a option array }
+
+let create n = { data = Array.make (if n < 1 then 1 else n) None }
+
+let ensure t i =
+  let len = Array.length t.data in
+  if i >= len then begin
+    let cap = ref (len * 2) in
+    while i >= !cap do
+      cap := !cap * 2
+    done;
+    let nd = Array.make !cap None in
+    Array.blit t.data 0 nd 0 len;
+    t.data <- nd
+  end
+
+let set t i v =
+  ensure t i;
+  t.data.(i) <- Some v
+
+let remove t i = if i < Array.length t.data then t.data.(i) <- None
+
+let find t i = if i < Array.length t.data then Array.unsafe_get t.data i else None
+
+let get t i = match find t i with Some v -> v | None -> raise Not_found
+
+(* Ascending key order — deterministic, unlike Hashtbl.iter. *)
+let iter f t =
+  Array.iteri (fun i o -> match o with Some v -> f i v | None -> ()) t.data
+
+module Float = struct
+  type t = { mutable data : float array }
+
+  let create n = { data = Array.make (if n < 1 then 1 else n) Float.nan }
+
+  let ensure t i =
+    let len = Array.length t.data in
+    if i >= len then begin
+      let cap = ref (len * 2) in
+      while i >= !cap do
+        cap := !cap * 2
+      done;
+      let nd = Array.make !cap Float.nan in
+      Array.blit t.data 0 nd 0 len;
+      t.data <- nd
+    end
+
+  let set t i v =
+    ensure t i;
+    t.data.(i) <- v
+
+  (* Read-and-clear; NaN when the key is absent. *)
+  let take t i =
+    if i < Array.length t.data then begin
+      let v = Array.unsafe_get t.data i in
+      Array.unsafe_set t.data i Float.nan;
+      v
+    end
+    else Float.nan
+end

@@ -1,0 +1,37 @@
+(** Growable int-keyed tables keyed by small sequential ids (KLT ids).
+
+    Flat-array replacements for the runtime's per-KLT Hashtbls: O(1)
+    reads with no hashing, and [find] returns the stored option without
+    allocating.  Not sparse-friendly — capacity is the largest key ever
+    set — which is exactly the KLT-id shape. *)
+
+type 'a t
+
+(** [create n] makes an empty table with initial capacity [n]. *)
+val create : int -> 'a t
+
+val set : 'a t -> int -> 'a -> unit
+
+val remove : 'a t -> int -> unit
+
+(** [find t i] is the stored binding or [None]; never allocates. *)
+val find : 'a t -> int -> 'a option
+
+(** Like {!find} but raises [Not_found] when absent. *)
+val get : 'a t -> int -> 'a
+
+(** Iterates bindings in ascending key order (deterministic). *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+
+(** Unboxed [int -> float] map; NaN encodes absence, so neither [set]
+    nor [take] allocates. *)
+module Float : sig
+  type t
+
+  val create : int -> t
+
+  val set : t -> int -> float -> unit
+
+  (** [take t i] returns the binding (NaN if absent) and clears it. *)
+  val take : t -> int -> float
+end

@@ -5,7 +5,7 @@
     runtime is guarded by one boolean load — like {!Desim.Trace.emit} on
     a disabled trace, the disabled path records nothing and costs a
     single branch.  Enable at construction time via
-    [Config.enable_metrics] or at any point with
+    [Config.metrics_enabled] or at any point with
     {!Runtime.set_metrics_enabled}; read results with {!Runtime.metrics}
     (a {!snapshot}).
 

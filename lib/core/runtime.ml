@@ -40,30 +40,30 @@ let now rt = Kernel.now rt.kernel
 
 let costs rt = Kernel.costs rt.kernel
 
-let worker_of rt klt = Hashtbl.find_opt rt.worker_of_klt (Kernel.klt_id klt)
+let worker_of rt klt = Itab.find rt.worker_of_klt (Kernel.klt_id klt)
 
 (* Re-pinning a pooled KLT to a new worker's core costs
    [affinity_reset] — the overhead that worker-local KLT pools avoid
    (paper §3.3.2). *)
 let klt_pin rt klt rank =
   let prev =
-    Option.value ~default:(-1) (Hashtbl.find_opt rt.klt_pinned (Kernel.klt_id klt))
+    match Itab.find rt.klt_pinned (Kernel.klt_id klt) with Some r -> r | None -> -1
   in
   if prev <> rank then begin
     let ncores = (Kernel.machine rt.kernel).Machine.cores in
     Kernel.set_affinity rt.kernel klt (Cpuset.of_list ncores [ rank mod ncores ]);
-    Hashtbl.replace rt.klt_pinned (Kernel.klt_id klt) rank;
+    Itab.set rt.klt_pinned (Kernel.klt_id klt) rank;
     if prev >= 0 then Kernel.add_overhead rt.kernel klt (costs rt).Machine.affinity_reset
   end
 
 let attach_klt rt (w : worker) klt =
   w.wklt <- Some klt;
-  Hashtbl.replace rt.worker_of_klt (Kernel.klt_id klt) w;
+  Itab.set rt.worker_of_klt (Kernel.klt_id klt) w;
   klt_pin rt klt w.rank
 
-let detach_klt rt klt = Hashtbl.remove rt.worker_of_klt (Kernel.klt_id klt)
+let detach_klt rt klt = Itab.remove rt.worker_of_klt (Kernel.klt_id klt)
 
-let parking_of rt klt = Hashtbl.find rt.parked (Kernel.klt_id klt)
+let parking_of rt klt = Itab.get rt.parked (Kernel.klt_id klt)
 
 let send_parked rt ?waker klt msg =
   let p = parking_of rt klt in
@@ -82,10 +82,11 @@ let pool_push rt (w : worker) klt =
    (already pinned here), then the global pool.  Must stay
    "async-signal-safe": pure queue pops, no blocking. *)
 let acquire_klt rt (w : worker) =
-  let local =
-    if rt.cfg.Config.use_local_klt_pool then Queue.take_opt w.local_klts else None
+  let got =
+    if rt.cfg.Config.use_local_klt_pool && not (Queue.is_empty w.local_klts) then
+      Some (Queue.pop w.local_klts)
+    else Queue.take_opt rt.global_klts
   in
-  let got = match local with Some k -> Some k | None -> Queue.take_opt rt.global_klts in
   (match got with Some _ -> Metrics.incr_pool_gets rt.metrics w.rank | None -> ());
   got
 
@@ -316,7 +317,7 @@ let initiate_stop rt =
   if not rt.stopping then begin
     rt.stopping <- true;
     List.iter Kernel.Timer.cancel rt.timers;
-    Hashtbl.iter
+    Itab.iter
       (fun _ p ->
         p.pmsg <- Some `Exit;
         Kernel.Futex.set p.pfut 1;
@@ -467,17 +468,17 @@ let maybe_request_preempt rt (w : worker) posted =
 let post_forward rt ~sender (w : worker) =
   match w.wklt with
   | Some klt ->
-      Hashtbl.replace rt.signal_posted (Kernel.klt_id klt) (now rt);
+      Itab.Float.set rt.signal_posted (Kernel.klt_id klt) (now rt);
       Kernel.pthread_kill rt.kernel ~sender klt sig_forward
   | None -> ()
 
 let on_preempt_signal rt ~from_timer _k klt =
-  let posted = Hashtbl.find_opt rt.signal_posted (Kernel.klt_id klt) in
-  Hashtbl.remove rt.signal_posted (Kernel.klt_id klt);
+  (* NaN = no post time recorded (stray signal). *)
+  let posted = Itab.Float.take rt.signal_posted (Kernel.klt_id klt) in
   (match worker_of rt klt with
   | None -> () (* parked or bound KLT caught a stray signal *)
   | Some w -> (
-      maybe_request_preempt rt w (Option.value ~default:(now rt) posted);
+      maybe_request_preempt rt w (if Float.is_nan posted then now rt else posted);
       match rt.cfg.Config.timer_strategy with
       | Config.Per_process_one_to_all when from_timer ->
           Array.iter
@@ -497,9 +498,7 @@ let on_preempt_signal rt ~from_timer _k klt =
       | Config.No_timer | Config.Per_worker_creation | Config.Per_worker_aligned
       | Config.Per_process_one_to_all ->
           ()));
-  match posted with
-  | Some t0 -> Stats.add rt.interrupt_stats (now rt -. t0)
-  | None -> ()
+  if not (Float.is_nan posted) then Stats.add rt.interrupt_stats (now rt -. posted)
 
 (* ------------------------------------------------------------------ *)
 (* KLT creator (paper §3.1.2): KLT creation is not async-signal-safe, so
@@ -515,7 +514,7 @@ let spawn_pool_klt rt ?creator () =
   (* Carrier KLT: its own state is a thin stack; thread-data movement is
      charged per-ULT (see Types.ult.footprint). *)
   Kernel.set_footprint rt.kernel klt 0.05;
-  Hashtbl.replace rt.parked (Kernel.klt_id klt)
+  Itab.set rt.parked (Kernel.klt_id klt)
     { pfut = Kernel.Futex.create rt.kernel 0; pmsg = None };
   klt
 
@@ -550,6 +549,7 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
   if n_workers <= 0 then invalid_arg "Runtime.create: n_workers <= 0";
   if n_workers > (Kernel.machine kernel).Machine.cores then
     invalid_arg "Runtime.create: more workers than cores";
+  let config = Config.validate config in
   let sched = match scheduler with Some s -> s | None -> Sched_ws.make () in
   let rng = Rng.split (Engine.rng (Kernel.engine kernel)) in
   let workers =
@@ -580,9 +580,9 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
     n_active = n_workers;
     creator_fut = Some (Kernel.Futex.create kernel 0);
     global_klts = Queue.create ();
-    parked = Hashtbl.create 64;
-    klt_pinned = Hashtbl.create 64;
-    worker_of_klt = Hashtbl.create 64;
+    parked = Itab.create 64;
+    klt_pinned = Itab.create 64;
+    worker_of_klt = Itab.create 64;
     creator_requests = 0;
     klts_created = 0;
     unfinished = 0;
@@ -590,7 +590,7 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
     started = false;
     cur_interval = config.Config.interval;
     timers = [];
-    signal_posted = Hashtbl.create 64;
+    signal_posted = Itab.Float.create 64;
     interrupt_stats = Stats.create ();
     preempt_latency_stats = Stats.create ();
     next_uid = 0;
@@ -599,7 +599,7 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
     klt_switches = 0;
     metrics =
       (let m = Metrics.create ~n_workers in
-       Metrics.set_enabled m config.Config.enable_metrics;
+       Metrics.set_enabled m config.Config.metrics_enabled;
        m);
   }
 
@@ -644,7 +644,7 @@ let install_timers rt =
     else
       match w.wklt with
       | Some klt ->
-          Hashtbl.replace rt.signal_posted (Kernel.klt_id klt) (now rt);
+          Itab.Float.set rt.signal_posted (Kernel.klt_id klt) (now rt);
           Metrics.incr_timer_fires rt.metrics w.rank;
           Some klt
       | None -> None
@@ -689,9 +689,9 @@ let start rt =
             sched_loop rt klt)
       in
       Kernel.set_footprint rt.kernel klt 0.05;
-      Hashtbl.replace rt.parked (Kernel.klt_id klt)
+      Itab.set rt.parked (Kernel.klt_id klt)
         { pfut = Kernel.Futex.create rt.kernel 0; pmsg = None };
-      Hashtbl.replace rt.klt_pinned (Kernel.klt_id klt) w.rank)
+      Itab.set rt.klt_pinned (Kernel.klt_id klt) w.rank)
     rt.workers;
   ignore (Kernel.spawn rt.kernel ~name:"klt-creator" (fun klt -> creator_loop rt klt));
   rt.timers <- install_timers rt

@@ -119,7 +119,7 @@ val stats_summary : t -> string
 (** Immutable snapshot of the runtime's {!Metrics}: per-worker event
     counters plus signal-to-switch / scheduling-delay / run-quantum
     latency histograms.  All zeros unless metrics were enabled
-    ([Config.enable_metrics] or {!set_metrics_enabled}). *)
+    ([Config.metrics_enabled] or {!set_metrics_enabled}). *)
 val metrics : t -> Metrics.snapshot
 
 val metrics_enabled : t -> bool

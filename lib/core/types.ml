@@ -83,9 +83,9 @@ and rt = {
   mutable sched : scheduler;
   mutable n_active : int;
   global_klts : Kernel.klt Queue.t;
-  parked : (int, parking) Hashtbl.t;  (* klt id -> mailbox *)
-  klt_pinned : (int, int) Hashtbl.t;  (* klt id -> core it is pinned to *)
-  worker_of_klt : (int, worker) Hashtbl.t;
+  parked : parking Itab.t;  (* klt id -> mailbox *)
+  klt_pinned : int Itab.t;  (* klt id -> core it is pinned to *)
+  worker_of_klt : worker Itab.t;
   mutable creator_fut : Kernel.Futex.t option;
   mutable creator_requests : int;
   mutable klts_created : int;
@@ -94,7 +94,7 @@ and rt = {
   mutable started : bool;
   mutable cur_interval : float;  (* live preemption interval *)
   mutable timers : Kernel.Timer.t list;
-  signal_posted : (int, float) Hashtbl.t;  (* klt id -> post time *)
+  signal_posted : Itab.Float.t;  (* klt id -> post time; NaN = none *)
   interrupt_stats : Desim.Stats.t;  (* Fig. 4 metric *)
   preempt_latency_stats : Desim.Stats.t;  (* Table 1 metric *)
   mutable next_uid : int;

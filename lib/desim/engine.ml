@@ -1,20 +1,15 @@
-type event_record = {
-  mutable alive : bool;
-  callback : unit -> unit;
-}
-
 type t = {
   mutable clock : float;
-  heap : event_record Heap.t;
+  heap : (unit -> unit) Heap.t;
   root_rng : Rng.t;
   mutable processed : int;
   mutable live : int;
-  mutable live_names : (int * string) list; (* pid, name *)
+  live_names : (int, string) Hashtbl.t; (* pid -> name *)
   mutable next_pid : int;
   mutable quiescence : unit -> string option;
 }
 
-type event = event_record
+type event = Heap.handle
 
 exception Deadlock of string
 
@@ -25,7 +20,7 @@ let create ?(seed = 42) () =
     root_rng = Rng.make seed;
     processed = 0;
     live = 0;
-    live_names = [];
+    live_names = Hashtbl.create 64;
     next_pid = 0;
     quiescence = (fun () -> None);
   }
@@ -34,26 +29,34 @@ let now t = t.clock
 
 let rng t = t.root_rng
 
-let at t time f =
+let check_future t time =
   if time < t.clock -. 1e-12 then
     invalid_arg
-      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock);
-  let ev = { alive = true; callback = f } in
-  Heap.push t.heap (Float.max time t.clock) ev;
-  ev
+      (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock)
+
+let at t time f =
+  check_future t time;
+  Heap.push_handle t.heap (Float.max time t.clock) f
 
 let after t dt f =
   if dt < 0.0 then invalid_arg "Engine.after: negative delay";
   at t (t.clock +. dt) f
 
-let cancel ev =
-  if ev.alive then begin
-    ev.alive <- false;
-    true
-  end
-  else false
+(* Fire-and-forget scheduling: no cancellation handle, no per-event
+   allocation beyond the closure itself.  This is the fast path for the
+   engine's own process machinery and for kernel events that are never
+   cancelled (wakeups, spawn bodies, resumptions). *)
+let post t time f =
+  check_future t time;
+  Heap.push t.heap (Float.max time t.clock) f
 
-let pending ev = ev.alive
+let post_after t dt f =
+  if dt < 0.0 then invalid_arg "Engine.post_after: negative delay";
+  Heap.push t.heap (t.clock +. dt) f
+
+let cancel ev = Heap.cancel ev
+
+let pending ev = Heap.pending ev
 
 let set_quiescence_check t f = t.quiescence <- f
 
@@ -61,7 +64,7 @@ let events_processed t = t.processed
 
 let live_processes t = t.live
 
-let live_process_names t = List.map snd t.live_names
+let live_process_names t = Hashtbl.fold (fun _ name acc -> name :: acc) t.live_names []
 
 (* ------------------------------------------------------------------ *)
 (* Processes.                                                          *)
@@ -85,10 +88,10 @@ let spawn t name f =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   t.live <- t.live + 1;
-  t.live_names <- (pid, name) :: t.live_names;
+  Hashtbl.replace t.live_names pid name;
   let finish () =
     t.live <- t.live - 1;
-    t.live_names <- List.filter (fun (p, _) -> p <> pid) t.live_names
+    Hashtbl.remove t.live_names pid
   in
   let open Effect.Deep in
   let body () =
@@ -105,7 +108,7 @@ let spawn t name f =
             | Delay dt ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    ignore (after t dt (fun () -> continue k ())))
+                    post_after t dt (fun () -> continue k ()))
             | Block register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -118,38 +121,51 @@ let spawn t name f =
                       fired := true;
                       (* Resumption goes through the heap so wakers never
                          run the woken process on their own stack. *)
-                      ignore (after t 0.0 (fun () -> continue k v))
+                      post_after t 0.0 (fun () -> continue k v)
                     in
                     register resume)
             | Self -> Some (fun (k : (a, unit) continuation) -> continue k (t, name))
             | _ -> None);
       }
   in
-  ignore (after t 0.0 body)
+  post_after t 0.0 body
 
+let overflow t max_events =
+  failwith
+    (Printf.sprintf "Engine.run: exceeded %d events at t=%g" max_events t.clock)
+
+(* Dispatch loop.  Cancelled events never surface ([Heap.min_key] skips
+   tombstones), so there is no liveness test and — with [min_key]/[pop]
+   instead of the option/tuple-returning peek/pop — no allocation per
+   dispatched event. *)
 let run ?until ?(max_events = 50_000_000) t =
-  let stop = ref false in
-  while (not !stop) && not (Heap.is_empty t.heap) do
-    match Heap.peek_min t.heap with
-    | None -> stop := true
-    | Some (time, _) ->
-        (match until with
-        | Some limit when time > limit ->
-            t.clock <- limit;
-            stop := true
-        | _ ->
-            let time, ev = Heap.pop_min t.heap in
-            if ev.alive then begin
-              ev.alive <- false;
-              t.clock <- time;
-              t.processed <- t.processed + 1;
-              if t.processed > max_events then
-                failwith
-                  (Printf.sprintf "Engine.run: exceeded %d events at t=%g"
-                     max_events t.clock);
-              ev.callback ()
-            end)
-  done;
+  let heap = t.heap in
+  (match until with
+  | None ->
+      while not (Heap.is_empty heap) do
+        let time = Heap.min_key heap in
+        let f = Heap.pop heap in
+        t.clock <- time;
+        t.processed <- t.processed + 1;
+        if t.processed > max_events then overflow t max_events;
+        f ()
+      done
+  | Some limit ->
+      let stop = ref false in
+      while (not !stop) && not (Heap.is_empty heap) do
+        let time = Heap.min_key heap in
+        if time > limit then begin
+          t.clock <- limit;
+          stop := true
+        end
+        else begin
+          let f = Heap.pop heap in
+          t.clock <- time;
+          t.processed <- t.processed + 1;
+          if t.processed > max_events then overflow t max_events;
+          f ()
+        end
+      done);
   if Heap.is_empty t.heap && t.live > 0 then
     match t.quiescence () with
     | Some msg -> raise (Deadlock msg)

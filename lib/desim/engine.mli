@@ -33,6 +33,14 @@ val after : t -> float -> (unit -> unit) -> event
 (** [at t time f] schedules [f] at absolute [time >= now]. *)
 val at : t -> float -> (unit -> unit) -> event
 
+(** [post t time f] schedules [f] at absolute [time >= now] with no
+    cancellation handle — the zero-allocation fast path for events that
+    are never cancelled (wakeups, resumptions, spawns). *)
+val post : t -> float -> (unit -> unit) -> unit
+
+(** [post_after t dt f] is [post] at [dt >= 0] seconds from now. *)
+val post_after : t -> float -> (unit -> unit) -> unit
+
 (** [cancel ev] prevents a pending event from firing.  Returns [false]
     if it already fired or was cancelled. *)
 val cancel : event -> bool

@@ -1,29 +1,63 @@
-(** Binary min-heap with stable ordering and O(log n) operations.
+(** 4-ary array min-heap with stable ordering and O(1) lazy cancellation.
 
     Elements are ordered by a [float] key; ties are broken by insertion
     sequence number, so two elements with equal keys pop in insertion
-    order.  This stability is what makes the simulation deterministic. *)
+    order.  This stability is what makes the simulation deterministic:
+    the pop sequence is fixed by the [(key, seq)] total order regardless
+    of the heap's internal layout.
+
+    The store is four parallel arrays (struct-of-arrays) so the hot
+    sift loops compare unboxed floats; cancellation marks a tombstone in
+    O(1) and dead entries are skipped at the root or bulk-compacted once
+    they outnumber live ones. *)
 
 type 'a t
 
+(** A cancellation handle for one pushed element.  Handles are
+    self-contained: cancelling needs no reference to the heap. *)
+type handle
+
 val create : unit -> 'a t
 
+(** Live elements (pushed, not yet popped or cancelled). *)
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [push h key v] inserts [v] with priority [key]. *)
+(** [push h key v] inserts [v] with priority [key].  Allocates no
+    handle: use for elements that are never cancelled. *)
 val push : 'a t -> float -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum element (key, value).
-    @raise Not_found if the heap is empty. *)
+(** [push_handle h key v] inserts [v] and returns a handle that can
+    cancel it later. *)
+val push_handle : 'a t -> float -> 'a -> handle
+
+(** [cancel hn] marks the element as a tombstone in O(1) — no heap
+    traversal.  Returns [true] on the first call while the element is
+    still pending, [false] if it was already popped or cancelled. *)
+val cancel : handle -> bool
+
+(** [pending hn] is [true] until the element is popped or cancelled. *)
+val pending : handle -> bool
+
+(** [min_key h] returns the minimum live key without allocating.
+    @raise Not_found if the heap has no live element. *)
+val min_key : 'a t -> float
+
+(** [pop h] removes and returns the minimum live element's value.
+    @raise Not_found if the heap has no live element. *)
+val pop : 'a t -> 'a
+
+(** [pop_min h] removes and returns the minimum live (key, value).
+    @raise Not_found if the heap has no live element. *)
 val pop_min : 'a t -> float * 'a
 
-(** [peek_min h] returns the minimum without removing it. *)
+(** [peek_min h] returns the minimum live element without removing it. *)
 val peek_min : 'a t -> (float * 'a) option
 
-(** [clear h] removes every element. *)
+(** [clear h] removes every element.  Handles issued before the clear
+    stay valid to cancel but refer to elements that no longer exist. *)
 val clear : 'a t -> unit
 
-(** [to_list h] returns all elements in unspecified order (testing aid). *)
+(** [to_list h] returns live elements in unspecified order (testing aid). *)
 val to_list : 'a t -> (float * 'a) list

@@ -50,7 +50,7 @@ module Obs = struct
     else Oskern.Kernel.create eng machine
 
   let config (c : Preempt_core.Config.t) =
-    if !metrics then { c with Preempt_core.Config.enable_metrics = true } else c
+    if !metrics then { c with Preempt_core.Config.metrics_enabled = true } else c
 
   (* Latest instrumented run: (trace, cores, t_end, metrics snapshot). *)
   let last : (Desim.Trace.t * int * float * Preempt_core.Metrics.snapshot) option ref =

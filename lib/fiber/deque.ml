@@ -1,51 +1,72 @@
-type 'a t = { lock : Mutex.t; mutable front : 'a list; mutable back : 'a list; mutable size : int }
+(* Mutex-protected ring buffer.  One contiguous power-of-two array with
+   [head, tail) live: push/pop at the tail (owner LIFO), steal and
+   push_front at the head.  Versus the old two-list deque this drops the
+   per-operation [Fun.protect] closure, the cons per push and the O(n)
+   [List.rev] rebalances — the lock is held for a couple of array ops. *)
 
-let create () = { lock = Mutex.create (); front = []; back = []; size = 0 }
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a array;
+  mutable head : int; (* next steal slot; grows downward via push_front *)
+  mutable tail : int; (* next push slot; size = tail - head *)
+}
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let create () = { lock = Mutex.create (); buf = [||]; head = 0; tail = 0 }
+
+(* Indices are free-running; [land mask] wraps them (negative included,
+   two's complement).  The pushed value doubles as the array fill so no
+   dummy element is needed. *)
+let grow t x =
+  let cap = Array.length t.buf in
+  if t.tail - t.head = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nb = Array.make ncap x in
+    let mask = cap - 1 in
+    for i = 0 to cap - 1 do
+      Array.unsafe_set nb i (Array.unsafe_get t.buf ((t.head + i) land mask))
+    done;
+    t.buf <- nb;
+    t.head <- 0;
+    t.tail <- cap
+  end
 
 let push t x =
-  with_lock t (fun () ->
-      t.back <- x :: t.back;
-      t.size <- t.size + 1)
+  Mutex.lock t.lock;
+  grow t x;
+  t.buf.(t.tail land (Array.length t.buf - 1)) <- x;
+  t.tail <- t.tail + 1;
+  Mutex.unlock t.lock
 
 let push_front t x =
-  with_lock t (fun () ->
-      t.front <- x :: t.front;
-      t.size <- t.size + 1)
+  Mutex.lock t.lock;
+  grow t x;
+  t.head <- t.head - 1;
+  t.buf.(t.head land (Array.length t.buf - 1)) <- x;
+  Mutex.unlock t.lock
 
 let pop t =
-  with_lock t (fun () ->
-      match t.back with
-      | x :: rest ->
-          t.back <- rest;
-          t.size <- t.size - 1;
-          Some x
-      | [] -> (
-          match List.rev t.front with
-          | [] -> None
-          | x :: rest ->
-              t.front <- [];
-              t.back <- rest;
-              t.size <- t.size - 1;
-              Some x))
+  Mutex.lock t.lock;
+  let r =
+    if t.tail = t.head then None
+    else begin
+      t.tail <- t.tail - 1;
+      Some t.buf.(t.tail land (Array.length t.buf - 1))
+    end
+  in
+  Mutex.unlock t.lock;
+  r
 
 let steal t =
-  with_lock t (fun () ->
-      match t.front with
-      | x :: rest ->
-          t.front <- rest;
-          t.size <- t.size - 1;
-          Some x
-      | [] -> (
-          match List.rev t.back with
-          | [] -> None
-          | x :: rest ->
-              t.front <- rest;
-              t.back <- [];
-              t.size <- t.size - 1;
-              Some x))
+  Mutex.lock t.lock;
+  let r =
+    if t.tail = t.head then None
+    else begin
+      let x = t.buf.(t.head land (Array.length t.buf - 1)) in
+      t.head <- t.head + 1;
+      Some x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
 
-let length t = t.size
+let length t = t.tail - t.head

@@ -537,7 +537,7 @@ let sleep t klt dt =
   if dt > 0.0 then
     match
       suspend t klt ~reason:"sleep" ~interruptible:false (fun deliver ->
-          ignore (Engine.after t.eng dt (fun () -> deliver ())))
+          Engine.post_after t.eng dt (fun () -> deliver ()))
     with
     | `Value () -> ()
     | `Eintr -> assert false
@@ -554,7 +554,7 @@ let blocking_syscall t klt ~duration ~sa_restart =
       let started = now t in
       let r =
         suspend t klt ~reason:"syscall" ~interruptible:true (fun deliver ->
-            ignore (Engine.after t.eng remaining (fun () -> deliver ())))
+            Engine.post_after t.eng remaining (fun () -> deliver ()))
       in
       match r with
       | `Value () -> `Done !restarts
@@ -608,8 +608,7 @@ let pthread_kill t ~sender target signo =
 let rec balance_tick t =
   if live_klts t = [] then t.balance_running <- false
   else
-    ignore
-      (Engine.after t.eng t.c.balance_interval (fun () ->
+    Engine.post_after t.eng t.c.balance_interval (fun () ->
          if t.balance_on then begin
            let busiest = ref t.cores.(0) and idlest = ref t.cores.(0) in
            Array.iter
@@ -643,7 +642,7 @@ let rec balance_tick t =
              decr moves
            done
          end;
-         balance_tick t))
+         balance_tick t)
 
 (* ------------------------------------------------------------------ *)
 (* KLT lifecycle. *)
@@ -781,8 +780,7 @@ module Futex = struct
             if w.alive then begin
               w.alive <- false;
               incr woken;
-              ignore
-                (Engine.after k.eng k.c.futex_wake_latency (fun () -> w.deliver ()))
+              Engine.post_after k.eng k.c.futex_wake_latency (fun () -> w.deliver ())
             end;
             pop ()
     in
@@ -804,16 +802,7 @@ module Timer = struct
     mutable count : int;
   }
 
-  let rec arm tm =
-    tm.ev <-
-      Some
-        (Engine.after tm.k.eng tm.interval (fun () ->
-             if tm.on then begin
-               fire tm;
-               arm tm
-             end))
-
-  and fire tm =
+  let fire tm =
     tm.count <- tm.count + 1;
     match tm.target () with
     | Some klt ->
@@ -825,13 +814,16 @@ module Timer = struct
     if interval <= 0.0 then invalid_arg "Kernel.Timer.create: interval <= 0";
     let tm = { k; interval; signo; target; on = true; ev = None; count = 0 } in
     let first = match first with Some f -> f | None -> interval in
-    tm.ev <-
-      Some
-        (Engine.after k.eng first (fun () ->
-             if tm.on then begin
-               fire tm;
-               arm tm
-             end));
+    (* One tick closure for the timer's whole life; the fire-then-rearm
+       order fixes where the re-arm's sequence number is drawn, so it
+       must not change. *)
+    let rec tick () =
+      if tm.on then begin
+        fire tm;
+        tm.ev <- Some (Engine.after k.eng tm.interval tick)
+      end
+    in
+    tm.ev <- Some (Engine.after k.eng first tick);
     tm
 
   let cancel tm =

@@ -87,6 +87,77 @@ let test_machine_with_cores_preserves_costs () =
     m.Machine.costs.Machine.signal_lock_hold;
   Alcotest.(check int) "cores" 8 m.Machine.cores
 
+(* --- Unified construction path: Config.make / validate ------------- *)
+
+let test_config_make_validation () =
+  Alcotest.check_raises "zero interval" (Invalid_argument "Config: interval must be positive")
+    (fun () -> ignore (Config.make ~interval:0.0 ()));
+  Alcotest.check_raises "negative interval"
+    (Invalid_argument "Config: interval must be positive") (fun () ->
+      ignore (Config.make ~interval:(-1.0) ()));
+  Alcotest.check_raises "NaN interval" (Invalid_argument "Config: interval must be positive")
+    (fun () -> ignore (Config.make ~interval:Float.nan ()));
+  Alcotest.check_raises "negative pool capacity"
+    (Invalid_argument "Config: local_pool_capacity < 0") (fun () ->
+      ignore (Config.make ~local_pool_capacity:(-1) ()));
+  Alcotest.check_raises "zero idle_poll" (Invalid_argument "Config: idle_poll must be positive")
+    (fun () -> ignore (Config.make ~idle_poll:0.0 ()));
+  Alcotest.check_raises "NaN idle_poll" (Invalid_argument "Config: idle_poll must be positive")
+    (fun () -> ignore (Config.make ~idle_poll:Float.nan ()))
+
+let test_config_make_defaults () =
+  Alcotest.(check bool) "make () = default" true (Config.make () = Config.default);
+  let c = Config.make ~interval:5e-4 ~suspend_mode:Config.Sigsuspend () in
+  Alcotest.(check (float 0.0)) "interval set" 5e-4 c.Config.interval;
+  Alcotest.(check bool) "suspend_mode set" true (c.Config.suspend_mode = Config.Sigsuspend)
+
+let test_config_metrics_alias () =
+  (* Canonical name. *)
+  let c = Config.make ~metrics_enabled:true () in
+  Alcotest.(check bool) "metrics_enabled" true c.Config.metrics_enabled;
+  (* Deprecated alias still honored for one release. *)
+  let c = Config.make ~enable_metrics:true () in
+  Alcotest.(check bool) "enable_metrics alias" true c.Config.metrics_enabled;
+  (* Canonical wins when both are given. *)
+  let c = Config.make ~enable_metrics:true ~metrics_enabled:false () in
+  Alcotest.(check bool) "canonical wins" false c.Config.metrics_enabled
+
+(* Runtime.create routes any config — including hand-built records —
+   through Config.validate. *)
+let test_runtime_create_validates_config () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
+  Alcotest.check_raises "bad config rejected"
+    (Invalid_argument "Config: interval must be positive") (fun () ->
+      ignore
+        (Runtime.create
+           ~config:{ Config.default with Config.interval = Float.nan }
+           kernel ~n_workers:1));
+  (* Config.metrics_enabled is the one switch; Runtime reflects it. *)
+  let rt =
+    Runtime.create ~config:(Config.make ~metrics_enabled:true ()) kernel ~n_workers:1
+  in
+  Alcotest.(check bool) "metrics on via config" true (Runtime.metrics_enabled rt);
+  Runtime.set_metrics_enabled rt false;
+  Alcotest.(check bool) "runtime setter" false (Runtime.metrics_enabled rt)
+
+(* Abt.init no longer hard-codes per-worker-aligned timers. *)
+let test_abt_init_strategies () =
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
+  let rt =
+    Abt.init ~preemption:1e-3 ~timer_strategy:Config.Per_process_chain
+      ~suspend_mode:Config.Sigsuspend kernel ~num_xstreams:2 ()
+  in
+  Alcotest.(check (float 0.0)) "interval" 1e-3 (Runtime.preemption_interval rt);
+  let t = Abt.thread_create rt ~kind:Abt.Preemptive_signal_yield (fun () -> Abt.work 3e-3) in
+  ignore t;
+  Engine.run eng;
+  Alcotest.(check bool) "chain strategy preempts" true (Runtime.preempt_signals rt > 0);
+  Alcotest.check_raises "invalid via Config.make"
+    (Invalid_argument "Config: interval must be positive") (fun () ->
+      ignore (Abt.init ~preemption:Float.nan kernel ~num_xstreams:1 ()))
+
 let suite =
   [
     Alcotest.test_case "pp machine/cpuset" `Quick test_pp_machine_cpuset;
@@ -98,4 +169,9 @@ let suite =
     Alcotest.test_case "ult accessors" `Quick test_ult_accessors;
     Alcotest.test_case "kernel accessors" `Quick test_kernel_accessors;
     Alcotest.test_case "with_cores preserves costs" `Quick test_machine_with_cores_preserves_costs;
+    Alcotest.test_case "Config.make validation" `Quick test_config_make_validation;
+    Alcotest.test_case "Config.make defaults" `Quick test_config_make_defaults;
+    Alcotest.test_case "metrics naming unified" `Quick test_config_metrics_alias;
+    Alcotest.test_case "Runtime.create validates config" `Quick test_runtime_create_validates_config;
+    Alcotest.test_case "Abt.init strategy/suspend knobs" `Quick test_abt_init_strategies;
   ]

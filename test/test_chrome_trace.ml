@@ -92,7 +92,7 @@ let test_real_export () =
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
       interval = 1e-3;
-      enable_metrics = true;
+      metrics_enabled = true;
     }
   in
   let rt = Runtime.create ~config kernel ~n_workers:2 in

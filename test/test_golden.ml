@@ -1,0 +1,29 @@
+(* Golden determinism test: the heap/dispatch rewrite must preserve the
+   seeded (time, seq) event order bit-for-bit.  The fig4 fast preset is
+   the canary — it sweeps all four timer strategies over four worker
+   counts, exercising timers, signals, futexes and the scheduler loop —
+   and its committed CSV (results/fig4.csv, a dune dep of this test) was
+   produced by the pre-rewrite engine.  Running it twice in-process also
+   pins run-to-run determinism within one binary. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* The experiment writes results/fig4.csv relative to the cwd (the test
+   sandbox), so it never touches the committed copy. *)
+let regenerate () =
+  ignore (Experiments.Fig4_interrupt.run ~fast:true ());
+  read_file "results/fig4.csv"
+
+let test_fig4_golden () =
+  let committed = read_file "../results/fig4.csv" in
+  let first = regenerate () in
+  let second = regenerate () in
+  Alcotest.(check string) "two in-process runs byte-identical" first second;
+  Alcotest.(check string) "matches committed results/fig4.csv" committed first
+
+let suite = [ Alcotest.test_case "fig4 fast preset golden" `Quick test_fig4_golden ]

@@ -62,6 +62,111 @@ let prop_stable =
       let popped = List.init n (fun _ -> snd (Heap.pop_min h)) in
       popped = List.init n Fun.id)
 
+(* Unit coverage of the lazy-cancellation surface. *)
+let test_cancel_basic () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "keep1";
+  let hn = Heap.push_handle h 0.5 "dropped" in
+  Heap.push h 2.0 "keep2";
+  Alcotest.(check bool) "pending before" true (Heap.pending hn);
+  Alcotest.(check int) "length counts it" 3 (Heap.length h);
+  Alcotest.(check bool) "cancel" true (Heap.cancel hn);
+  Alcotest.(check bool) "cancel twice" false (Heap.cancel hn);
+  Alcotest.(check bool) "not pending after" false (Heap.pending hn);
+  Alcotest.(check int) "length excludes tombstone" 2 (Heap.length h);
+  Alcotest.(check string) "tombstone skipped" "keep1" (snd (Heap.pop_min h));
+  Alcotest.(check string) "rest intact" "keep2" (snd (Heap.pop_min h));
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_cancel_popped () =
+  let h = Heap.create () in
+  let hn = Heap.push_handle h 1.0 () in
+  ignore (Heap.pop_min h);
+  Alcotest.(check bool) "popped not pending" false (Heap.pending hn);
+  Alcotest.(check bool) "cancel after pop" false (Heap.cancel hn)
+
+let test_all_cancelled () =
+  let h = Heap.create () in
+  let hs = List.init 100 (fun i -> Heap.push_handle h (float_of_int i) i) in
+  List.iter (fun hn -> ignore (Heap.cancel hn)) hs;
+  Alcotest.(check bool) "only tombstones = empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "peek none" true (Heap.peek_min h = None);
+  (* Compaction path: keep pushing over a tombstone majority. *)
+  for i = 0 to 199 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "live survive compaction" 200 (Heap.length h);
+  Alcotest.(check int) "min live" 0 (snd (Heap.pop_min h))
+
+(* Model test: random push/push_handle/pop/cancel interleavings against
+   a sorted-association-list reference.  Keys are drawn from a small set
+   so ties are common and the (key, seq) tie-break is exercised. *)
+let prop_cancel_model =
+  (* op: 0-1 push, 2 pop, 3 cancel; arg picks key or cancel victim *)
+  QCheck.Test.make ~name:"lazy-cancel heap matches reference model" ~count:300
+    QCheck.(list (pair (int_bound 3) (int_bound 7)))
+    (fun ops ->
+      let h = Heap.create () in
+      (* model: (key, seq, id) for every live element, unsorted *)
+      let model = ref [] in
+      let handles = ref [] in (* (id, handle) still cancellable *)
+      let seq = ref 0 and uid = ref 0 in
+      let model_min () =
+        match !model with
+        | [] -> None
+        | e :: rest ->
+            Some
+              (List.fold_left
+                 (fun (bk, bs, bi) (k, s, i) ->
+                   if k < bk || (k = bk && s < bs) then (k, s, i) else (bk, bs, bi))
+                 e rest)
+      in
+      let ok = ref true in
+      List.iter
+        (fun (op, arg) ->
+          if !ok then
+            match op with
+            | 0 | 1 ->
+                let key = float_of_int arg /. 2.0 in
+                let id = !uid in
+                incr uid;
+                if op = 0 then Heap.push h key id
+                else handles := (id, Heap.push_handle h key id) :: !handles;
+                model := (key, !seq, id) :: !model;
+                incr seq
+            | 2 -> (
+                match model_min () with
+                | None -> (
+                    match Heap.pop_min h with
+                    | exception Not_found -> ()
+                    | _ -> ok := false)
+                | Some (k, _, i) ->
+                    let k', i' = Heap.pop_min h in
+                    if k' <> k || i' <> i then ok := false;
+                    model := List.filter (fun (_, _, j) -> j <> i) !model;
+                    handles := List.filter (fun (j, _) -> j <> i) !handles)
+            | _ -> (
+                match !handles with
+                | [] -> ()
+                | hs ->
+                    let j, hn = List.nth hs (arg mod List.length hs) in
+                    if not (Heap.cancel hn) then ok := false;
+                    if Heap.cancel hn then ok := false; (* double cancel *)
+                    model := List.filter (fun (_, _, i) -> i <> j) !model;
+                    handles := List.filter (fun (i, _) -> i <> j) !handles))
+        ops;
+      if Heap.length h <> List.length !model then ok := false;
+      (* Drain: remaining elements must pop in (key, seq) order. *)
+      while !ok && not (Heap.is_empty h) do
+        match model_min () with
+        | None -> ok := false
+        | Some (k, _, i) ->
+            let k', i' = Heap.pop_min h in
+            if k' <> k || i' <> i then ok := false;
+            model := List.filter (fun (_, _, j) -> j <> i) !model
+      done;
+      !ok && !model = [])
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -70,6 +175,10 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "to_list" `Quick test_to_list;
+    Alcotest.test_case "cancel basics" `Quick test_cancel_basic;
+    Alcotest.test_case "cancel after pop" `Quick test_cancel_popped;
+    Alcotest.test_case "all cancelled + compaction" `Quick test_all_cancelled;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_stable;
+    QCheck_alcotest.to_alcotest prop_cancel_model;
   ]

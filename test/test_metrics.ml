@@ -76,7 +76,7 @@ let run_workload ?(enable = true) ?(seed = 42) () =
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
       interval = 1e-3;
-      enable_metrics = enable;
+      metrics_enabled = enable;
     }
   in
   let rt = Runtime.create ~config kernel ~n_workers:2 in
@@ -200,7 +200,7 @@ let test_enable_midway () =
 let test_usync_counters () =
   let eng = Engine.create () in
   let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 2) in
-  let config = { Config.default with Config.enable_metrics = true } in
+  let config = { Config.default with Config.metrics_enabled = true } in
   let rt = Runtime.create ~config kernel ~n_workers:2 in
   let m = Usync.Mutex.create rt in
   for i = 0 to 3 do

@@ -109,7 +109,7 @@ let test_sync_stress_under_preemption () =
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
       interval = 0.3e-3;
-      enable_metrics = true;
+      metrics_enabled = true;
     }
   in
   let rt = Runtime.create ~config kernel ~n_workers:4 in

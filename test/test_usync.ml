@@ -188,7 +188,7 @@ let preemptive_rt ?(seed = 0) ?(cores = 2) ?(workers = 2) ?(interval = 0.3e-3)
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
       interval;
-      enable_metrics = metrics;
+      metrics_enabled = metrics;
     }
   in
   (eng, Runtime.create ~config kernel ~n_workers:workers)
