@@ -78,6 +78,194 @@ let all =
       ignore (Experiments.Fig9_insitu.run ~fast ());
       ignore (Experiments.Sec351_syscalls.run ~fast ()))
 
+(* ------------------------------------------------------------------ *)
+(* repro check — schedule exploration / fault injection (lib/check)    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_strategy s =
+  match s with
+  | "random" -> Ok Check.Random_walk
+  | "dfs" -> Ok Check.Dfs
+  | _ -> (
+      match String.split_on_char ':' s with
+      | [ "pct"; d ] -> (
+          match int_of_string_opt d with
+          | Some d when d >= 0 -> Ok (Check.Pct d)
+          | _ -> Error (Printf.sprintf "bad PCT depth in %S" s))
+      | _ ->
+          Error
+            (Printf.sprintf "unknown strategy %S (want random, pct:D or dfs)" s)
+      )
+
+let verdict_line name expect (r : Check.report) =
+  let verdict, detail =
+    match r.Check.result with
+    | `Ok ->
+        ( Check.Scenarios.Pass,
+          Printf.sprintf "no violation in %d schedule(s)%s" r.Check.schedules
+            (if r.Check.exhausted then " (space exhausted)" else "") )
+    | `Violation cx ->
+        ( Check.Scenarios.Fail,
+          Printf.sprintf "caught at schedule #%d: %s" cx.Check.cx_schedule
+            cx.Check.cx_message )
+  in
+  let ok = verdict = expect in
+  Printf.printf "%-12s %s  %s\n%!" name
+    (if ok then "[as expected]" else "[UNEXPECTED]")
+    detail;
+  ok
+
+let dump_cx_trace trace_file (cx : Check.counterexample) =
+  match trace_file with
+  | Some path when cx.Check.cx_trace <> "" ->
+      let oc = open_out path in
+      output_string oc cx.Check.cx_trace;
+      close_out oc;
+      Printf.printf "chrome trace of the shrunk schedule written to %s\n%!" path
+  | _ -> ()
+
+let check_main list_scenarios prog budget strategy seed faults replay trace_file
+    =
+  let fail msg =
+    prerr_endline ("repro check: " ^ msg);
+    exit 1
+  in
+  let scenario name =
+    match Check.Scenarios.find name with
+    | Some s -> s
+    | None ->
+        fail
+          (Printf.sprintf "unknown scenario %S (have: %s)" name
+             (String.concat ", " (Check.Scenarios.names ())))
+  in
+  let strategy =
+    match parse_strategy strategy with Ok s -> s | Error m -> fail m
+  in
+  if list_scenarios then
+    List.iter
+      (fun s ->
+        Printf.printf "%-12s %s — %s (budget %d%s)\n" s.Check.Scenarios.sname
+          (match s.Check.Scenarios.expect with
+          | Check.Scenarios.Pass -> "pass"
+          | Check.Scenarios.Fail -> "fail")
+          s.Check.Scenarios.sdesc s.Check.Scenarios.sbudget
+          (if s.Check.Scenarios.sfaults then ", faults" else ""))
+      Check.Scenarios.all
+  else
+    match replay with
+    | Some rseed ->
+        (* Replay one schedule by chooser seed; non-zero exit on
+           violation so scripts can assert reproduction. *)
+        let s = scenario (Option.value prog ~default:"deadlock") in
+        let faults = faults || s.Check.Scenarios.sfaults in
+        let r =
+          Check.run ~seed:rseed ~faults ~budget:1 ~strategy
+            s.Check.Scenarios.prog
+        in
+        (match r.Check.result with
+        | `Ok -> Printf.printf "replay of seed %d: no violation\n%!" rseed
+        | `Violation cx ->
+            print_endline (Check.describe cx);
+            dump_cx_trace trace_file cx;
+            exit 2)
+    | None -> (
+        match prog with
+        | Some name ->
+            let s = scenario name in
+            let budget =
+              Option.value budget ~default:s.Check.Scenarios.sbudget
+            in
+            let faults = faults || s.Check.Scenarios.sfaults in
+            let r =
+              Check.run ~seed ~faults ~budget ~strategy s.Check.Scenarios.prog
+            in
+            (match r.Check.result with
+            | `Violation cx ->
+                print_endline (Check.describe cx);
+                dump_cx_trace trace_file cx
+            | `Ok -> ());
+            if not (verdict_line name s.Check.Scenarios.expect r) then exit 1
+        | None ->
+            (* Smoke mode: every scenario must reach its expected
+               verdict within its committed budget. *)
+            let ok =
+              List.fold_left
+                (fun acc s ->
+                  let r =
+                    Check.run ~seed ~faults:s.Check.Scenarios.sfaults
+                      ~budget:s.Check.Scenarios.sbudget ~strategy
+                      s.Check.Scenarios.prog
+                  in
+                  verdict_line s.Check.Scenarios.sname s.Check.Scenarios.expect
+                    r
+                  && acc)
+                true Check.Scenarios.all
+            in
+            if not ok then exit 1)
+
+let check =
+  let doc =
+    "Explore thread schedules and injected faults; catch deadlocks, lost \
+     wakeups and atomicity violations with replayable counterexamples."
+  in
+  let list_scenarios =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenario registry.")
+  in
+  let prog =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prog" ] ~docv:"NAME"
+          ~doc:"Check one scenario (see $(b,--list)); default: all of them.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Schedules to explore (default: the scenario's own budget).")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "random"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Exploration strategy: $(b,random), $(b,pct:D) or $(b,dfs).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base chooser seed (default 1).")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Inject runtime faults: delayed/coalesced timer signals, KLT-pool \
+             exhaustion, spurious futex wakeups, worker stalls.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Replay the single schedule with chooser seed $(docv); exit 2 if \
+             it violates an invariant.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the Chrome trace of the shrunk failing schedule to $(docv).")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check_main $ list_scenarios $ prog $ budget $ strategy $ seed
+      $ faults $ replay $ trace_file)
+
 let env =
   let doc = "Print the simulated machine configurations (paper Table 2)." in
   Cmd.v (Cmd.info "env" ~doc)
@@ -100,4 +288,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; env ]))
+          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; check; env ]))

@@ -1,0 +1,11 @@
+(** Schedule exploration and fault injection for the preemptive
+    runtime — the public face of the [check] library.
+
+    [Check.run ~budget ~strategy prog] explores controller-driven
+    schedules of [prog] and reports the first invariant violation as a
+    shrunk, deterministically replayable {!Trail.t}.  See
+    [docs/checking.md] for the full story. *)
+
+include Runner
+module Trail = Trail
+module Scenarios = Scenarios

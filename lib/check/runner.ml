@@ -1,0 +1,430 @@
+(** Schedule exploration and fault injection over the deterministic
+    simulator (in the spirit of loom / shuttle / PCT).
+
+    Every nondeterministic decision in the stack — engine tie-breaks at
+    equal timestamps, preemption-timer firing offsets, KLT-pool picks,
+    work-steal victim choice, plus injected faults — is routed through a
+    {!Desim.Choice.t} controller.  [run] executes the program under
+    [budget] controller-driven schedules, records each consultation into
+    a {!Trail.t}, and reports the first invariant violation together
+    with a greedily shrunk, deterministically replayable trail. *)
+
+open Desim
+open Preempt_core
+
+exception Violation of string
+
+let violate fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+
+let require ok fmt =
+  Printf.ksprintf (fun m -> if not ok then raise (Violation m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Programs under test                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type env = { eng : Engine.t; trace : Trace.t }
+
+type program = {
+  runtime : Runtime.t option;  (** watched by the deadlock oracle *)
+  ults : Ult.t list;  (** threads the deadlock oracle tracks *)
+  cores : int;  (** for the violation-report trace dump; 0 = no dump *)
+  oracle : unit -> unit;  (** post-run invariant check; raise {!Violation} *)
+}
+
+let program ?runtime ?(ults = []) ?(cores = 0) ?(oracle = fun () -> ()) () =
+  { runtime; ults; cores; oracle }
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Mutual-exclusion monitor: raises as soon as two threads are inside
+    the same critical section. *)
+module Excl = struct
+  type t = { ename : string; mutable inside : int; mutable entries : int }
+
+  let create ename = { ename; inside = 0; entries = 0 }
+
+  let enter t =
+    t.inside <- t.inside + 1;
+    t.entries <- t.entries + 1;
+    if t.inside > 1 then
+      violate "mutual exclusion violated: %d threads inside %s" t.inside
+        t.ename
+
+  let leave t = t.inside <- t.inside - 1
+
+  let critical t f =
+    enter t;
+    Fun.protect ~finally:(fun () -> leave t) f
+
+  let entries t = t.entries
+end
+
+let all_finished rt =
+  let n = Runtime.unfinished rt in
+  require (n = 0) "liveness: %d thread(s) never finished" n
+
+let no_lost_wakeups rt =
+  if Runtime.metrics_enabled rt then begin
+    let s = Runtime.metrics rt in
+    require
+      (s.Metrics.s_sync_blocks = s.Metrics.s_sync_wakeups)
+      "lost wakeup: %d sync blocks but only %d wakeups"
+      s.Metrics.s_sync_blocks s.Metrics.s_sync_wakeups
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type strategy =
+  | Random_walk  (** independent uniform pick at every choice point *)
+  | Pct of int
+      (** PCT-style: default schedule with [d] randomly placed change
+          points that force a non-default pick (Burckhardt et al.) *)
+  | Dfs  (** exhaustive depth-first enumeration (small programs only) *)
+  | Replay of Trail.t  (** replay a recorded trail; beyond it, defaults *)
+
+let strategy_name = function
+  | Random_walk -> "random"
+  | Pct d -> Printf.sprintf "pct:%d" d
+  | Dfs -> "dfs"
+  | Replay _ -> "replay"
+
+(* All schedules of one [run] share the engine seed; only the chooser
+   seed varies, so a counterexample replays from (seed, strategy,
+   budget=1) alone.  The mix keeps per-schedule streams decorrelated
+   while [schedule_seed seed 0 = seed]. *)
+let schedule_seed seed i = seed + (i * 0x9E3779B1)
+
+let default_engine_seed = 42
+
+type kind = K_choose | K_fault | K_delay
+
+(* A decider answers one consultation; the recorder around it writes
+   the trail.  Fault and delay consultations reach the decider only
+   when fault injection is enabled, so trails stay consistent across
+   record / replay regardless of trail contents. *)
+
+let clamp e n = if e.Trail.picked < n then e.Trail.picked else 0
+
+let follower (entries : Trail.t) =
+  let pos = ref 0 in
+  fun _kind ~n ~tag:_ ->
+    if !pos < Array.length entries then begin
+      let e = entries.(!pos) in
+      incr pos;
+      clamp e n
+    end
+    else 0
+
+let random_decider seed =
+  let r = Rng.make seed in
+  fun kind ~n ~tag:_ ->
+    match kind with
+    | K_choose -> Rng.int r n
+    | K_fault -> if Rng.int r 8 = 0 then 1 else 0
+    | K_delay -> if Rng.int r 8 = 0 then 1 + Rng.int r 3 else 0
+
+let pct_decider ~depth ~horizon seed =
+  let r = Rng.make seed in
+  let flips = Hashtbl.create (max 1 depth) in
+  for _ = 1 to depth do
+    Hashtbl.replace flips (Rng.int r (max 1 horizon)) ()
+  done;
+  let count = ref 0 in
+  fun kind ~n ~tag:_ ->
+    match kind with
+    | K_choose ->
+        let i = !count in
+        incr count;
+        if Hashtbl.mem flips i then Rng.int r n else 0
+    | K_fault -> if Rng.int r 8 = 0 then 1 else 0
+    | K_delay -> if Rng.int r 8 = 0 then 1 + Rng.int r 3 else 0
+
+(* DFS walks the choice tree leaves-first: run the current prefix with
+   defaults past its end, then bump the deepest decision that still has
+   an untried alternative.  Every leaf (complete schedule) is visited
+   exactly once. *)
+type dfs_state = { mutable prefix : Trail.t; mutable exhausted : bool }
+
+let dfs_decider st =
+  let pos = ref 0 in
+  fun _kind ~n ~tag:_ ->
+    if !pos < Array.length st.prefix then begin
+      let e = st.prefix.(!pos) in
+      incr pos;
+      clamp e n
+    end
+    else 0
+
+let dfs_advance st (observed : Trail.t) =
+  let rec find i =
+    if i < 0 then None
+    else if observed.(i).Trail.picked < observed.(i).Trail.n - 1 then Some i
+    else find (i - 1)
+  in
+  match find (Array.length observed - 1) with
+  | None -> st.exhausted <- true
+  | Some i ->
+      let p = Array.sub observed 0 (i + 1) in
+      p.(i) <- { (p.(i)) with Trail.picked = p.(i).Trail.picked + 1 };
+      st.prefix <- p
+
+(* ------------------------------------------------------------------ *)
+(* Single-schedule execution                                           *)
+(* ------------------------------------------------------------------ *)
+
+type one = {
+  o_trail : Trail.t;
+  o_failure : string option;
+  o_trace : Trace.t;
+  o_cores : int;
+}
+
+let message_of = function
+  | Violation m -> m
+  | Engine.Deadlock m -> "deadlock: " ^ m
+  | Invalid_argument m -> "invalid-arg: " ^ m
+  | Failure m -> "failure: " ^ m
+  | e -> "exception: " ^ Printexc.to_string e
+
+(* Deadlock / lost-wakeup watchdog: a recurring engine event that fires
+   while the runtime is live.  If every unfinished tracked thread stays
+   U_blocked for [deadlock_after] of continuous virtual time, nothing
+   can ever wake them (all wakers are themselves blocked or gone) and
+   the schedule is reported as a deadlock. *)
+let watchdog eng rt ults ~deadlock_after =
+  let interval = deadlock_after /. 8.0 in
+  let blocked_since = ref Float.nan in
+  let rec tick () =
+    if not (Runtime.is_stopping rt) then begin
+      let live = List.filter (fun u -> not (Ult.finished u)) ults in
+      if live <> [] && List.for_all Ult.blocked live then begin
+        if Float.is_nan !blocked_since then blocked_since := Engine.now eng
+        else if Engine.now eng -. !blocked_since >= deadlock_after then begin
+          let names = String.concat ", " (List.map Ult.name live) in
+          let extra =
+            if not (Runtime.metrics_enabled rt) then ""
+            else
+              let s = Runtime.metrics rt in
+              if s.Metrics.s_sync_blocks > s.Metrics.s_sync_wakeups then
+                Printf.sprintf " (%d sync blocks vs %d wakeups: lost wakeup?)"
+                  s.Metrics.s_sync_blocks s.Metrics.s_sync_wakeups
+              else ""
+          in
+          violate "deadlock: {%s} blocked with no pending waker%s" names extra
+        end
+      end
+      else blocked_since := Float.nan;
+      Engine.post_after eng interval tick
+    end
+  in
+  Engine.post_after eng interval tick
+
+let run_one ~decide ~faults ~max_events ~until ~deadlock_after ~record_trace
+    (prog : env -> program) =
+  let eng = Engine.create ~seed:default_engine_seed () in
+  let trace = Trace.create () in
+  if record_trace then Trace.enable trace;
+  let entries = ref [] in
+  let record tag n picked =
+    entries := { Trail.tag; n; picked } :: !entries;
+    picked
+  in
+  let ctrl =
+    Choice.create
+      ~choose:(fun ~n ~tag -> record tag n (decide K_choose ~n ~tag))
+      ~fault:(fun ~tag -> faults && record tag 2 (decide K_fault ~n:2 ~tag) = 1)
+      ~delay:(fun ~tag ~max ->
+        if not faults then 0.0
+        else max *. float_of_int (record tag 4 (decide K_delay ~n:4 ~tag)) /. 3.)
+      ()
+  in
+  Engine.set_controller eng (Some ctrl);
+  let cores = ref 0 in
+  let failure = ref None in
+  (try
+     let p = prog { eng; trace } in
+     cores := p.cores;
+     (match p.runtime with
+     | Some rt when p.ults <> [] -> watchdog eng rt p.ults ~deadlock_after
+     | _ -> ());
+     Engine.run ~until ~max_events eng;
+     p.oracle ()
+   with e -> failure := Some (message_of e));
+  {
+    o_trail = Array.of_list (List.rev !entries);
+    o_failure = !failure;
+    o_trace = trace;
+    o_cores = !cores;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexamples and reports                                         *)
+(* ------------------------------------------------------------------ *)
+
+type counterexample = {
+  cx_message : string;  (** what went wrong *)
+  cx_seed : int;  (** chooser seed of the failing schedule *)
+  cx_strategy : string;  (** strategy that found it ({!strategy_name}) *)
+  cx_budget : int;  (** budget of the run that found it *)
+  cx_schedule : int;  (** 0-based index of the failing schedule *)
+  cx_faults : bool;  (** fault injection was enabled *)
+  cx_trail : Trail.t;  (** shrunk trail; replay with [Replay cx_trail] *)
+  cx_trace : string;  (** Chrome-trace JSON of the shrunk failing run *)
+}
+
+type report = {
+  schedules : int;  (** schedules actually executed *)
+  exhausted : bool;  (** DFS only: the whole space was enumerated *)
+  result : [ `Ok | `Violation of counterexample ];
+}
+
+let describe cx =
+  String.concat "\n"
+    [
+      Printf.sprintf "violation: %s" cx.cx_message;
+      Printf.sprintf
+        "found by: strategy=%s seed=%d budget=%d (schedule #%d, faults=%b)"
+        cx.cx_strategy cx.cx_seed cx.cx_budget cx.cx_schedule cx.cx_faults;
+      Printf.sprintf "replay: seed=%d with budget=1, or the shrunk trail"
+        cx.cx_seed;
+      Printf.sprintf "trail: %s" (Trail.to_string cx.cx_trail);
+    ]
+
+(* Greedy shrink toward the default schedule, bounded by [max_replays]
+   replays.  Phase 1 binary-searches the shortest failing prefix
+   (everything beyond the violation is idle-spin noise, so this kills
+   most forced picks at once); phase 2 zeroes runs of forced picks in
+   halving chunk sizes, down to single decisions (ddmin-style).  The
+   kept trail is always the *observed* trail of a failing replay, so it
+   is self-consistent by construction. *)
+let shrink ~replay ~max_replays trail0 msg0 =
+  let best = ref trail0 in
+  let best_msg = ref msg0 in
+  let attempts = ref 0 in
+  let try_cand cand =
+    !attempts < max_replays
+    && begin
+         incr attempts;
+         let one = replay cand in
+         match one.o_failure with
+         | Some m ->
+             best := one.o_trail;
+             best_msg := m;
+             true
+         | None -> false
+       end
+  in
+  (* Phase 1: shortest failing prefix (defaults beyond the cut). *)
+  let lo = ref 0 in
+  let hi = ref (Trail.length !best) in
+  while !lo < !hi && !attempts < max_replays do
+    let mid = (!lo + !hi) / 2 in
+    if try_cand (Array.sub !best 0 mid) then hi := mid else lo := mid + 1
+  done;
+  (* Phase 2: zero chunks of forced picks, halving the chunk size. *)
+  let zero_range c0 c1 =
+    let arr = !best in
+    let any = ref false in
+    let cand =
+      Array.mapi
+        (fun j e ->
+          if j >= c0 && j < c1 && e.Trail.picked <> 0 then begin
+            any := true;
+            { e with Trail.picked = 0 }
+          end
+          else e)
+        arr
+    in
+    if !any then ignore (try_cand cand)
+  in
+  let size = ref (max 1 (Trail.length !best / 2)) in
+  while !size >= 1 && !attempts < max_replays do
+    let n = Trail.length !best in
+    let i = ref 0 in
+    while !i < n && !attempts < max_replays do
+      zero_range !i (!i + !size);
+      i := !i + !size
+    done;
+    size := if !size = 1 then 0 else !size / 2
+  done;
+  (!best, !best_msg)
+
+(* ------------------------------------------------------------------ *)
+(* The main loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 1) ?(faults = false) ?(max_events = 2_000_000) ?(until = 30.0)
+    ?(deadlock_after = 0.02) ?(max_shrink_replays = 200) ~budget ~strategy prog
+    =
+  if budget <= 0 then invalid_arg "Check.run: budget must be positive";
+  let dfs = { prefix = [||]; exhausted = false } in
+  let prev_len = ref 64 in
+  let run_plain ?(record_trace = false) decide =
+    run_one ~decide ~faults ~max_events ~until ~deadlock_after ~record_trace
+      prog
+  in
+  let decider_for i =
+    match strategy with
+    | Random_walk -> random_decider (schedule_seed seed i)
+    | Pct d -> pct_decider ~depth:d ~horizon:!prev_len (schedule_seed seed i)
+    | Dfs -> dfs_decider dfs
+    | Replay tr -> follower tr
+  in
+  let counterexample i (one : one) msg =
+    let replay tr = run_plain (follower tr) in
+    let shrunk, msg' =
+      shrink ~replay ~max_replays:max_shrink_replays one.o_trail msg
+    in
+    (* Re-execute the shrunk trail with tracing on: confirms the replay
+       is deterministic and captures the span dump for the report. *)
+    let final = run_plain ~record_trace:true (follower shrunk) in
+    let msg'', trail'' =
+      match final.o_failure with
+      | Some m -> (m, final.o_trail)
+      | None -> (msg', shrunk)
+    in
+    let cx_trace =
+      if final.o_cores > 0 && Trace.length final.o_trace > 0 then
+        Experiments.Chrome_trace.(
+          to_json (of_trace ~cores:final.o_cores final.o_trace))
+      else ""
+    in
+    {
+      cx_message = msg'';
+      cx_seed = schedule_seed seed i;
+      cx_strategy = strategy_name strategy;
+      cx_budget = budget;
+      cx_schedule = i;
+      cx_faults = faults;
+      cx_trail = trail'';
+      cx_trace;
+    }
+  in
+  let rec loop i =
+    if i >= budget then { schedules = i; exhausted = false; result = `Ok }
+    else if (match strategy with Dfs -> dfs.exhausted | _ -> false) then
+      { schedules = i; exhausted = true; result = `Ok }
+    else begin
+      let one = run_plain (decider_for i) in
+      prev_len := max 16 (Trail.length one.o_trail);
+      (match strategy with Dfs -> dfs_advance dfs one.o_trail | _ -> ());
+      match one.o_failure with
+      | None -> loop (i + 1)
+      | Some msg ->
+          {
+            schedules = i + 1;
+            exhausted = false;
+            result = `Violation (counterexample i one msg);
+          }
+    end
+  in
+  loop 0
+
+let replay cx prog =
+  run ~seed:cx.cx_seed ~faults:cx.cx_faults ~budget:1
+    ~strategy:(Replay cx.cx_trail) prog

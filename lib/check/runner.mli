@@ -1,0 +1,139 @@
+(** Schedule exploration and fault injection over the simulator.
+
+    [run ~budget ~strategy prog] executes [prog] under [budget]
+    controller-driven schedules.  Each schedule routes every
+    nondeterministic decision in the stack — engine tie-breaks,
+    preemption-timer offsets, KLT-pool picks, work-steal victims, and
+    (with [~faults:true]) injected faults such as coalesced timer
+    signals, KLT-pool exhaustion, spurious futex wakeups and worker
+    stalls — through a {!Desim.Choice.t} controller, recording every
+    decision into a {!Trail.t}.  The first schedule that raises
+    {!Violation} (or deadlocks, or trips a runtime assertion) is
+    greedily shrunk and reported as a deterministically replayable
+    counterexample.
+
+    Programs must be re-entrant: [prog] is invoked once per schedule and
+    must build all its state (kernel, runtime, threads, locks) from the
+    supplied {!env}. *)
+
+(** Raised by oracles to report an invariant violation. *)
+exception Violation of string
+
+val violate : ('a, unit, string, 'b) format4 -> 'a
+(** [violate fmt ...] raises {!Violation} with a formatted message. *)
+
+val require : bool -> ('a, unit, string, unit) format4 -> 'a
+(** [require ok fmt ...] raises {!Violation} unless [ok]. *)
+
+(** {1 Programs under test} *)
+
+type env = {
+  eng : Desim.Engine.t;  (** fresh engine, controller already installed *)
+  trace : Desim.Trace.t;  (** pass to [Kernel.create ~trace] for dumps *)
+}
+
+type program = {
+  runtime : Preempt_core.Runtime.t option;
+      (** watched by the deadlock oracle *)
+  ults : Preempt_core.Ult.t list;  (** threads the deadlock oracle tracks *)
+  cores : int;  (** for the violation-report trace dump; 0 = no dump *)
+  oracle : unit -> unit;
+      (** runs after the engine drains; raise {!Violation} on breakage *)
+}
+
+val program :
+  ?runtime:Preempt_core.Runtime.t ->
+  ?ults:Preempt_core.Ult.t list ->
+  ?cores:int ->
+  ?oracle:(unit -> unit) ->
+  unit ->
+  program
+
+(** {1 Oracles} *)
+
+(** Mutual-exclusion monitor: {!Excl.enter} raises {!Violation} as soon
+    as two threads are inside the same critical section. *)
+module Excl : sig
+  type t
+
+  val create : string -> t
+
+  val enter : t -> unit
+
+  val leave : t -> unit
+
+  (** [critical t f] runs [f] inside the monitor (exception-safe). *)
+  val critical : t -> (unit -> 'a) -> 'a
+
+  (** Total number of completed {!enter} calls. *)
+  val entries : t -> int
+end
+
+(** Raises unless every spawned thread finished. *)
+val all_finished : Preempt_core.Runtime.t -> unit
+
+(** Raises if the runtime recorded more sync blocks than wakeups
+    (requires [metrics_enabled]). *)
+val no_lost_wakeups : Preempt_core.Runtime.t -> unit
+
+(** {1 Strategies} *)
+
+type strategy =
+  | Random_walk  (** independent uniform pick at every choice point *)
+  | Pct of int
+      (** PCT-style: default schedule with [d] randomly placed change
+          points that force a non-default pick *)
+  | Dfs  (** exhaustive depth-first enumeration (small programs only) *)
+  | Replay of Trail.t  (** replay a recorded trail; beyond it, defaults *)
+
+val strategy_name : strategy -> string
+
+(** [schedule_seed seed i] is the chooser seed of schedule [i] in a run
+    started from [seed]; [schedule_seed seed 0 = seed], so a failing
+    schedule replays as [run ~seed:(schedule_seed seed i) ~budget:1]. *)
+val schedule_seed : int -> int -> int
+
+(** {1 Running} *)
+
+type counterexample = {
+  cx_message : string;  (** what went wrong *)
+  cx_seed : int;  (** chooser seed of the failing schedule *)
+  cx_strategy : string;  (** strategy that found it ({!strategy_name}) *)
+  cx_budget : int;  (** budget of the run that found it *)
+  cx_schedule : int;  (** 0-based index of the failing schedule *)
+  cx_faults : bool;  (** fault injection was enabled *)
+  cx_trail : Trail.t;  (** shrunk trail; replay with [Replay cx_trail] *)
+  cx_trace : string;  (** Chrome-trace JSON of the shrunk failing run *)
+}
+
+type report = {
+  schedules : int;  (** schedules actually executed *)
+  exhausted : bool;  (** DFS only: the whole space was enumerated *)
+  result : [ `Ok | `Violation of counterexample ];
+}
+
+(** Multi-line human-readable counterexample summary. *)
+val describe : counterexample -> string
+
+(** [run ~budget ~strategy prog] explores up to [budget] schedules.
+    All schedules share one fixed engine seed; [seed] (default 1) only
+    drives the chooser, so counterexamples are replayable from
+    [(seed, strategy, budget)] alone.  [faults] (default false) enables
+    fault injection.  [until] / [max_events] bound each schedule;
+    [deadlock_after] (virtual seconds, default 0.02) is how long every
+    tracked thread must stay blocked before the watchdog reports a
+    deadlock; [max_shrink_replays] bounds the shrinking phase. *)
+val run :
+  ?seed:int ->
+  ?faults:bool ->
+  ?max_events:int ->
+  ?until:float ->
+  ?deadlock_after:float ->
+  ?max_shrink_replays:int ->
+  budget:int ->
+  strategy:strategy ->
+  (env -> program) ->
+  report
+
+(** Re-run a counterexample's shrunk trail (deterministic). *)
+val replay : counterexample -> (env -> program) -> report

@@ -1,0 +1,242 @@
+(** Ready-made programs for the checker — buggy and correct concurrency
+    patterns over the preemptive runtime.  Used by the [repro check] CLI
+    subcommand and the [@check-smoke] alias: each scenario carries the
+    verdict the checker is expected to reach within its budget, so the
+    registry doubles as an end-to-end regression suite for the checker
+    itself (buggy programs must be caught, correct ones must pass). *)
+
+open Oskern
+open Preempt_core
+
+type expect = Pass | Fail
+
+type t = {
+  sname : string;
+  sdesc : string;
+  expect : expect;
+  sfaults : bool;  (** run with fault injection enabled *)
+  sbudget : int;  (** schedules that suffice for the expected verdict *)
+  prog : Runner.env -> Runner.program;
+}
+
+(* Two cores, two workers, aligned preemption timers, metrics on — the
+   standard harness all scenarios run under.  Everything is rebuilt per
+   schedule from the controller-carrying engine in [env]. *)
+let preemptive_rt (env : Runner.env) =
+  let machine = Machine.with_cores Machine.skylake 2 in
+  let kernel = Kernel.create ~trace:env.Runner.trace env.Runner.eng machine in
+  let config =
+    Config.make ~timer_strategy:Config.Per_worker_aligned ~interval:0.3e-3
+      ~metrics_enabled:true ()
+  in
+  Runtime.create ~config kernel ~n_workers:2
+
+(* Classic lock-order inversion: AB vs BA.  Both threads hold their
+   first mutex across a compute, so nearly every schedule interleaves
+   the acquisitions and the deadlock watchdog fires. *)
+let deadlock_prog env =
+  let rt = preemptive_rt env in
+  let m1 = Usync.Mutex.create rt in
+  let m2 = Usync.Mutex.create rt in
+  let grab a b () =
+    Usync.Mutex.lock a;
+    Ult.compute 2e-4;
+    Usync.Mutex.lock b;
+    Ult.compute 1e-4;
+    Usync.Mutex.unlock b;
+    Usync.Mutex.unlock a
+  in
+  let ua =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"lock-ab"
+      (grab m1 m2)
+  in
+  let ub =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"lock-ba"
+      (grab m2 m1)
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:[ ua; ub ] ~cores:2
+    ~oracle:(fun () -> Runner.all_finished rt)
+    ()
+
+(* Check-then-sleep without atomicity: the waiter decides to sleep and
+   only then parks itself, leaving a window in which the signaler's
+   wake finds nobody.  In the default schedule the signaler arrives
+   after the waiter has parked; injected worker stalls shift the window
+   until the wake is lost and the waiter blocks forever. *)
+let lost_wakeup_prog env =
+  let rt = preemptive_rt env in
+  let flag = ref false in
+  let cell = ref None in
+  let waiter =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"waiter"
+      (fun () ->
+        if not !flag then begin
+          Ult.yield ();
+          if not !flag then begin
+            Ult.compute 5e-5 (* decided to sleep; not yet parked *);
+            Ult.suspend (fun self -> cell := Some self)
+          end
+        end)
+  in
+  let signaler =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"signaler"
+      (fun () ->
+        Ult.compute 6e-5;
+        flag := true;
+        match !cell with
+        | Some u ->
+            cell := None;
+            Runtime.ready rt u
+        | None -> ())
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:[ waiter; signaler ] ~cores:2
+    ~oracle:(fun () -> Runner.all_finished rt)
+    ()
+
+(* Broken test-and-set: the load-to-store window lets two threads see
+   [busy = false] and both enter the critical section. *)
+let racy_flag_prog env =
+  let rt = preemptive_rt env in
+  let excl = Runner.Excl.create "busy-flag section" in
+  let busy = ref false in
+  let body () =
+    let rec acquire () =
+      if !busy then begin
+        Ult.yield ();
+        acquire ()
+      end
+      else begin
+        Ult.compute 1e-5 (* load-to-store window *);
+        busy := true
+      end
+    in
+    acquire ();
+    Runner.Excl.critical excl (fun () -> Ult.compute 5e-5);
+    busy := false
+  in
+  let us =
+    List.init 2 (fun i ->
+        Runtime.spawn rt ~kind:Types.Signal_yield ~home:i
+          ~name:(Printf.sprintf "racer%d" i) body)
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:us ~cores:2
+    ~oracle:(fun () -> Runner.all_finished rt)
+    ()
+
+(* The correct version of the racy scenario: a real mutex guards the
+   critical section, so no schedule may trip the monitor. *)
+let mutex_ok_prog env =
+  let rt = preemptive_rt env in
+  let m = Usync.Mutex.create rt in
+  let excl = Runner.Excl.create "mutex section" in
+  let count = ref 0 in
+  let threads = 3 in
+  let rounds = 8 in
+  let body () =
+    for _ = 1 to rounds do
+      Usync.Mutex.lock m;
+      Runner.Excl.critical excl (fun () ->
+          Ult.compute 2e-5;
+          incr count);
+      Usync.Mutex.unlock m;
+      Ult.compute 1e-5
+    done
+  in
+  let us =
+    List.init threads (fun i ->
+        Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+          ~name:(Printf.sprintf "locker%d" i) body)
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:us ~cores:2
+    ~oracle:(fun () ->
+      Runner.all_finished rt;
+      Runner.require (!count = threads * rounds)
+        "mutex-ok: counter %d, expected %d" !count (threads * rounds);
+      Runner.no_lost_wakeups rt)
+    ()
+
+(* Single-producer single-consumer channel: delivery must be complete
+   and FIFO in every schedule, and no wakeup may be lost. *)
+let channel_fifo_prog env =
+  let rt = preemptive_rt env in
+  let ch = Usync.Channel.create rt in
+  let n = 40 in
+  let got = ref [] in
+  let producer =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"producer"
+      (fun () ->
+        for i = 1 to n do
+          Usync.Channel.send ch i;
+          if i mod 4 = 0 then Ult.compute 1e-5
+        done)
+  in
+  let consumer =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"consumer"
+      (fun () ->
+        for _ = 1 to n do
+          got := Usync.Channel.recv ch :: !got;
+          Ult.compute 5e-6
+        done)
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:[ producer; consumer ] ~cores:2
+    ~oracle:(fun () ->
+      Runner.all_finished rt;
+      Runner.require
+        (List.rev !got = List.init n (fun i -> i + 1))
+        "channel-fifo: messages reordered or dropped (%d received)"
+        (List.length !got);
+      Runner.no_lost_wakeups rt)
+    ()
+
+let all =
+  [
+    {
+      sname = "deadlock";
+      sdesc = "lock-order inversion (AB vs BA) caught by the watchdog";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 20;
+      prog = deadlock_prog;
+    };
+    {
+      sname = "lost-wakeup";
+      sdesc = "check-then-sleep window loses a wakeup under worker stalls";
+      expect = Fail;
+      sfaults = true;
+      sbudget = 300;
+      prog = lost_wakeup_prog;
+    };
+    {
+      sname = "racy-flag";
+      sdesc = "broken test-and-set trips the mutual-exclusion monitor";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 20;
+      prog = racy_flag_prog;
+    };
+    {
+      sname = "mutex-ok";
+      sdesc = "correct mutex: monitor and counters hold in every schedule";
+      expect = Pass;
+      sfaults = false;
+      sbudget = 60;
+      prog = mutex_ok_prog;
+    };
+    {
+      sname = "channel-fifo";
+      sdesc = "SPSC channel stays complete and FIFO in every schedule";
+      expect = Pass;
+      sfaults = false;
+      sbudget = 60;
+      prog = channel_fifo_prog;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.sname = name) all
+
+let names () = List.map (fun s -> s.sname) all

@@ -1,0 +1,21 @@
+(** Ready-made buggy and correct concurrency scenarios over the
+    preemptive runtime, with the verdict the checker is expected to
+    reach.  Backs the [repro check] CLI subcommand and the
+    [@check-smoke] alias. *)
+
+type expect = Pass | Fail
+
+type t = {
+  sname : string;
+  sdesc : string;
+  expect : expect;  (** verdict the checker must reach within [sbudget] *)
+  sfaults : bool;  (** run with fault injection enabled *)
+  sbudget : int;  (** schedules that suffice for the expected verdict *)
+  prog : Runner.env -> Runner.program;
+}
+
+val all : t list
+
+val find : string -> t option
+
+val names : unit -> string list

@@ -45,11 +45,20 @@ let default =
     metrics_enabled = false;
   }
 
-(* [not (x > 0.0)] also catches NaN. *)
+(* Every rejection names the offending field, the value it was given
+   and the requirement, in one uniform shape:
+     Config: <field> = <value> (must be <requirement>)
+   [not (x > 0.0)] also catches NaN. *)
+let reject field value requirement =
+  invalid_arg (Printf.sprintf "Config: %s = %s (must be %s)" field value requirement)
+
 let validate c =
-  if not (c.interval > 0.0) then invalid_arg "Config: interval must be positive";
-  if c.local_pool_capacity < 0 then invalid_arg "Config: local_pool_capacity < 0";
-  if not (c.idle_poll > 0.0) then invalid_arg "Config: idle_poll must be positive";
+  if not (c.interval > 0.0) then
+    reject "interval" (Printf.sprintf "%g" c.interval) "positive";
+  if c.local_pool_capacity < 0 then
+    reject "local_pool_capacity" (string_of_int c.local_pool_capacity) "non-negative";
+  if not (c.idle_poll > 0.0) then
+    reject "idle_poll" (Printf.sprintf "%g" c.idle_poll) "positive";
   c
 
 let make ?(timer_strategy = default.timer_strategy) ?(interval = default.interval)

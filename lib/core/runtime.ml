@@ -80,12 +80,24 @@ let pool_push rt (w : worker) klt =
 
 (* Acquire a replacement KLT at preemption: worker-local pool first
    (already pinned here), then the global pool.  Must stay
-   "async-signal-safe": pure queue pops, no blocking. *)
+   "async-signal-safe": pure queue pops, no blocking.  A schedule
+   controller can override the pool pick (local vs global when both
+   have stock) or inject pool exhaustion — the paper's "no spare KLT"
+   slow path — to drive the creator-request machinery. *)
 let acquire_klt rt (w : worker) =
   let got =
-    if rt.cfg.Config.use_local_klt_pool && not (Queue.is_empty w.local_klts) then
-      Some (Queue.pop w.local_klts)
-    else Queue.take_opt rt.global_klts
+    match Engine.controller (Kernel.engine rt.kernel) with
+    | Some c when Choice.fault c ~tag:"klt.exhausted" -> None
+    | (Some _ as ctrl) when rt.cfg.Config.use_local_klt_pool
+                            && (not (Queue.is_empty w.local_klts))
+                            && not (Queue.is_empty rt.global_klts) ->
+        let c = Option.get ctrl in
+        if Choice.pick c ~n:2 ~tag:"klt.pool" = 0 then Some (Queue.pop w.local_klts)
+        else Queue.take_opt rt.global_klts
+    | Some _ | None ->
+        if rt.cfg.Config.use_local_klt_pool && not (Queue.is_empty w.local_klts) then
+          Some (Queue.pop w.local_klts)
+        else Queue.take_opt rt.global_klts
   in
   (match got with Some _ -> Metrics.incr_pool_gets rt.metrics w.rank | None -> ());
   got
@@ -351,6 +363,13 @@ let rec sched_loop rt klt =
           sched_loop rt klt
         end
         else begin
+          (* Injected worker stall: the scheduler loop loses its core to
+             unrelated kernel work for one poll quantum, widening the
+             window in which other workers must make progress alone. *)
+          (match Engine.controller (Kernel.engine rt.kernel) with
+          | Some c when Choice.fault c ~tag:"worker.stall" ->
+              Kernel.compute rt.kernel klt rt.cfg.Config.idle_poll
+          | Some _ | None -> ());
           (match rt.sched.next rt w with
           | Some u -> run_entry rt w klt u
           | None ->

@@ -14,9 +14,15 @@ let steal rt (w : worker) =
   if n <= 1 then None
   else begin
     (* A few random probes, then a deterministic sweep so a lone ready
-       thread cannot be missed forever. *)
+       thread cannot be missed forever.  Under a schedule controller the
+       victim of each probe is a choice point instead of an RNG draw. *)
+    let ctrl = Desim.Engine.controller (Oskern.Kernel.engine rt.kernel) in
     let attempt () =
-      let v = Desim.Rng.int w.w_rng n in
+      let v =
+        match ctrl with
+        | Some c -> Desim.Choice.pick c ~n ~tag:"steal.victim"
+        | None -> Desim.Rng.int w.w_rng n
+      in
       if v = w.rank then None else Dq.pop_back rt.workers.(v).q_main
     in
     let rec probes k = if k = 0 then None else match attempt () with Some u -> Some u | None -> probes (k - 1) in

@@ -45,6 +45,14 @@ val set_priority : t -> int -> unit
 
 val finished : t -> bool
 
+(** True while the thread is suspended on user-level synchronization
+    (the state a deadlock oracle watches for). *)
+val blocked : t -> bool
+
+(** Human-readable state ("ready", "running", "bound", "blocked",
+    "finished") — for violation reports and tests. *)
+val state_name : t -> string
+
 (** Number of times this thread has been preempted. *)
 val preemptions : t -> int
 

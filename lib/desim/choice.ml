@@ -1,0 +1,36 @@
+(* Pluggable decision source for the simulator's nondeterministic choice
+   points.  When no controller is installed every choice point falls
+   back to its historical behaviour (FIFO tie-breaks, RNG draws, no
+   faults), so the hooks cost one [match] on the hot paths.  With a
+   controller installed, an explorer — not the RNG — decides what runs
+   next, which is what lets [Check] enumerate and replay schedules. *)
+
+type t = {
+  mutable choose : n:int -> tag:string -> int;
+      (* pick an alternative in [0, n); 0 must mean "the default" *)
+  mutable fault : tag:string -> bool;
+      (* fault-injection points: [true] makes the point misbehave *)
+  mutable delay : tag:string -> max:float -> float;
+      (* extra latency in [0, max] injected at the point, 0 = none *)
+}
+
+let create ?(choose = fun ~n:_ ~tag:_ -> 0) ?(fault = fun ~tag:_ -> false)
+    ?(delay = fun ~tag:_ ~max:_ -> 0.0) () =
+  { choose; fault; delay }
+
+let pick c ~n ~tag =
+  if n <= 1 then 0
+  else begin
+    let k = c.choose ~n ~tag in
+    if k < 0 || k >= n then
+      invalid_arg (Printf.sprintf "Choice: %s picked %d of %d" tag k n);
+    k
+  end
+
+let fault c ~tag = c.fault ~tag
+
+let delay c ~tag ~max =
+  let d = c.delay ~tag ~max in
+  if d < 0.0 || d > max then
+    invalid_arg (Printf.sprintf "Choice: %s delay %g outside [0, %g]" tag d max);
+  d

@@ -1,0 +1,44 @@
+(** Pluggable decision source for nondeterministic choice points.
+
+    The simulator is deterministic: event ties pop in insertion order
+    and every stochastic decision draws from a seeded {!Rng}.  A
+    [Choice.t] installed on an engine ({!Engine.set_controller})
+    overrides those decisions at the named choice points, so a schedule
+    explorer — rather than the default order — picks what happens next.
+    Each consultation carries a [tag] naming the point (e.g.
+    ["engine.tie"], ["steal.victim"], ["timer.fire"]), which recorders
+    use to build replayable schedule trails.
+
+    Contract for all three decision kinds: the "zero" answer (index 0,
+    no fault, zero delay) must reproduce the uncontrolled behaviour, so
+    a trail of all-defaults is the same schedule as no controller. *)
+
+type t = {
+  mutable choose : n:int -> tag:string -> int;
+      (** [choose ~n ~tag] picks an alternative in [[0, n)]; 0 is the
+          default (what the uncontrolled simulator would do). *)
+  mutable fault : tag:string -> bool;
+      (** Fault-injection predicate: [true] makes the tagged point
+          misbehave (drop a timer fire, fail a pool refill, …). *)
+  mutable delay : tag:string -> max:float -> float;
+      (** Extra latency in [[0, max]] injected at the tagged point. *)
+}
+
+(** [create ()] is the identity controller: default choices, no faults,
+    no delays.  Override fields directly or via the optional args. *)
+val create :
+  ?choose:(n:int -> tag:string -> int) ->
+  ?fault:(tag:string -> bool) ->
+  ?delay:(tag:string -> max:float -> float) ->
+  unit ->
+  t
+
+(** [pick c ~n ~tag] consults [choose] and range-checks the answer.
+    [n <= 1] short-circuits to 0 without consulting the controller.
+    @raise Invalid_argument on an out-of-range pick. *)
+val pick : t -> n:int -> tag:string -> int
+
+val fault : t -> tag:string -> bool
+
+(** @raise Invalid_argument if the controller answers outside [0, max]. *)
+val delay : t -> tag:string -> max:float -> float

@@ -7,6 +7,9 @@ type t = {
   live_names : (int, string) Hashtbl.t; (* pid -> name *)
   mutable next_pid : int;
   mutable quiescence : unit -> string option;
+  mutable controller : Choice.t option;
+      (* schedule controller: decides tie-breaks among equal-timestamp
+         events; [None] = historical FIFO order, zero overhead *)
 }
 
 type event = Heap.handle
@@ -23,7 +26,12 @@ let create ?(seed = 42) () =
     live_names = Hashtbl.create 64;
     next_pid = 0;
     quiescence = (fun () -> None);
+    controller = None;
   }
+
+let set_controller t c = t.controller <- c
+
+let controller t = t.controller
 
 let now t = t.clock
 
@@ -134,17 +142,30 @@ let overflow t max_events =
   failwith
     (Printf.sprintf "Engine.run: exceeded %d events at t=%g" max_events t.clock)
 
+(* Under a schedule controller, a tie of n equal-timestamp events is a
+   choice point: the controller picks which fires first instead of the
+   FIFO default. *)
+let pop_controlled c heap =
+  let n = Heap.tie_count heap in
+  if n <= 1 then Heap.pop heap
+  else Heap.pop_tie heap (Choice.pick c ~n ~tag:"engine.tie")
+
 (* Dispatch loop.  Cancelled events never surface ([Heap.min_key] skips
    tombstones), so there is no liveness test and — with [min_key]/[pop]
    instead of the option/tuple-returning peek/pop — no allocation per
-   dispatched event. *)
+   dispatched event.  The controller hook is one [match] on [None] per
+   event; the controlled arm only runs during schedule exploration. *)
 let run ?until ?(max_events = 50_000_000) t =
   let heap = t.heap in
   (match until with
   | None ->
       while not (Heap.is_empty heap) do
         let time = Heap.min_key heap in
-        let f = Heap.pop heap in
+        let f =
+          match t.controller with
+          | None -> Heap.pop heap
+          | Some c -> pop_controlled c heap
+        in
         t.clock <- time;
         t.processed <- t.processed + 1;
         if t.processed > max_events then overflow t max_events;
@@ -159,7 +180,11 @@ let run ?until ?(max_events = 50_000_000) t =
           stop := true
         end
         else begin
-          let f = Heap.pop heap in
+          let f =
+            match t.controller with
+            | None -> Heap.pop heap
+            | Some c -> pop_controlled c heap
+          in
           t.clock <- time;
           t.processed <- t.processed + 1;
           if t.processed > max_events then overflow t max_events;

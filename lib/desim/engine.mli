@@ -26,6 +26,18 @@ val now : t -> float
 (** Root RNG of this engine ({!Rng.split} it per component). *)
 val rng : t -> Rng.t
 
+(** [set_controller t c] installs (or removes) a schedule controller.
+    With a controller, a tie of [n] equal-timestamp events becomes a
+    choice point (tag ["engine.tie"]): the controller picks which event
+    fires first instead of the FIFO default.  Other simulator layers
+    (kernel timers, futexes, the runtime's schedulers) consult the same
+    controller for their own choice points.  [None] (the default)
+    restores the historical deterministic order. *)
+val set_controller : t -> Choice.t option -> unit
+
+(** The installed schedule controller, if any. *)
+val controller : t -> Choice.t option
+
 (** [after t dt f] schedules callback [f] to run [dt >= 0] seconds from
     now.  Callbacks run outside any process context. *)
 val after : t -> float -> (unit -> unit) -> event

@@ -242,6 +242,64 @@ let pop_min h =
   let k = h.keys.(0) in
   (k, pop h)
 
+(* ------------------------------------------------------------------ *)
+(* Tie inspection — the engine's schedule-exploration hook.  Both
+   functions are O(size) scans; they are only called when a schedule
+   controller is installed, never on the default dispatch path. *)
+
+let live hn = hn == no_handle || hn.state = 0
+
+let tie_count h =
+  prune_top h;
+  if h.size = 0 then 0
+  else begin
+    let k = h.keys.(0) in
+    let n = ref 0 in
+    for i = 0 to h.size - 1 do
+      if live (Array.unsafe_get h.hnds i) && Array.unsafe_get h.keys i = k then
+        incr n
+    done;
+    !n
+  end
+
+(* Remove the element at [idx], restoring the heap property for the
+   element moved into its place: sift it up (tracking it by its unique
+   seq), and only if it did not move, sift it down. *)
+let remove_at h idx =
+  let last = h.size - 1 in
+  h.size <- last;
+  if idx < last then begin
+    h.keys.(idx) <- h.keys.(last);
+    h.seqs.(idx) <- h.seqs.(last);
+    h.vals.(idx) <- h.vals.(last);
+    h.hnds.(idx) <- h.hnds.(last);
+    let seq = h.seqs.(idx) in
+    sift_up h idx;
+    if h.seqs.(idx) = seq then sift_down h idx
+  end
+
+let pop_tie h j =
+  prune_top h;
+  if h.size = 0 then raise Not_found;
+  if j = 0 then pop h
+  else begin
+    let k = h.keys.(0) in
+    let idxs = ref [] in
+    for i = h.size - 1 downto 0 do
+      if live (Array.unsafe_get h.hnds i) && Array.unsafe_get h.keys i = k then
+        idxs := i :: !idxs
+    done;
+    let idxs = List.sort (fun a b -> compare h.seqs.(a) h.seqs.(b)) !idxs in
+    match List.nth_opt idxs j with
+    | None -> invalid_arg (Printf.sprintf "Heap.pop_tie: index %d of %d ties" j (List.length idxs))
+    | Some idx ->
+        let v = h.vals.(idx) in
+        let hn = h.hnds.(idx) in
+        if hn != no_handle then hn.state <- 1;
+        remove_at h idx;
+        v
+  end
+
 let peek_min h =
   prune_top h;
   if h.size = 0 then None else Some (h.keys.(0), h.vals.(0))

@@ -55,6 +55,17 @@ val pop_min : 'a t -> float * 'a
 (** [peek_min h] returns the minimum live element without removing it. *)
 val peek_min : 'a t -> (float * 'a) option
 
+(** [tie_count h] is the number of live elements whose key equals the
+    minimum key (0 on an empty heap).  O(size) scan — intended for the
+    schedule-exploration path, not the default dispatch loop. *)
+val tie_count : 'a t -> int
+
+(** [pop_tie h j] removes and returns the [j]-th (in insertion order,
+    0-based) of the live minimum-key elements.  [pop_tie h 0] is {!pop}.
+    @raise Not_found on an empty heap.
+    @raise Invalid_argument if [j] is not below {!tie_count}. *)
+val pop_tie : 'a t -> int -> 'a
+
 (** [clear h] removes every element.  Handles issued before the clear
     stay valid to cancel but refer to elements that no longer exist. *)
 val clear : 'a t -> unit

@@ -760,12 +760,20 @@ module Futex = struct
   let wait k klt f ~expected =
     if f.value <> expected then `Again
     else begin
-      match
-        suspend k klt ~reason:"futex" ~interruptible:false (fun deliver ->
-            f.fwaiters <- f.fwaiters @ [ { alive = true; deliver = (fun () -> deliver ()) } ])
-      with
-      | `Value () -> `Ok
-      | `Eintr -> assert false
+      match Engine.controller k.eng with
+      | Some c when Choice.fault c ~tag:"futex.spurious" ->
+          (* Injected spurious wakeup: return without ever sleeping, the
+             word unchanged.  Every in-tree waiter re-checks its
+             predicate in a loop, exactly because real futexes allow
+             this. *)
+          `Ok
+      | _ -> (
+          match
+            suspend k klt ~reason:"futex" ~interruptible:false (fun deliver ->
+                f.fwaiters <- f.fwaiters @ [ { alive = true; deliver = (fun () -> deliver ()) } ])
+          with
+          | `Value () -> `Ok
+          | `Eintr -> assert false)
     end
 
   let wake k ?waker f n =
@@ -816,12 +824,26 @@ module Timer = struct
     let first = match first with Some f -> f | None -> interval in
     (* One tick closure for the timer's whole life; the fire-then-rearm
        order fixes where the re-arm's sequence number is drawn, so it
-       must not change. *)
-    let rec tick () =
+       must not change.  A schedule controller may shift a fire by a
+       bounded offset (exploring preemption-timer phases) or coalesce it
+       into the next expiry (delayed/merged signal fault injection); the
+       uncontrolled path is byte-for-byte the historical one. *)
+    let rec fire_rearm () =
       if tm.on then begin
         fire tm;
         tm.ev <- Some (Engine.after k.eng tm.interval tick)
       end
+    and tick () =
+      if tm.on then
+        match Engine.controller k.eng with
+        | None -> fire_rearm ()
+        | Some c ->
+            if Choice.fault c ~tag:"timer.coalesce" then
+              tm.ev <- Some (Engine.after k.eng tm.interval tick)
+            else
+              let d = Choice.delay c ~tag:"timer.fire" ~max:(tm.interval *. 0.5) in
+              if d > 0.0 then tm.ev <- Some (Engine.after k.eng d fire_rearm)
+              else fire_rearm ()
     in
     tm.ev <- Some (Engine.after k.eng first tick);
     tm

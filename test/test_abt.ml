@@ -72,7 +72,7 @@ let test_invalid_preemption () =
   let eng = Engine.create () in
   let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
   Alcotest.check_raises "bad interval"
-    (Invalid_argument "Config: interval must be positive") (fun () ->
+    (Invalid_argument "Config: interval = 0 (must be positive)") (fun () ->
       ignore (Abt.init ~preemption:0.0 kernel ~num_xstreams:1 ()))
 
 let suite =

@@ -90,20 +90,53 @@ let test_machine_with_cores_preserves_costs () =
 (* --- Unified construction path: Config.make / validate ------------- *)
 
 let test_config_make_validation () =
-  Alcotest.check_raises "zero interval" (Invalid_argument "Config: interval must be positive")
-    (fun () -> ignore (Config.make ~interval:0.0 ()));
+  (* Every rejection names the field, the offending value and the
+     requirement, in one uniform shape. *)
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Config: interval = 0 (must be positive)") (fun () ->
+      ignore (Config.make ~interval:0.0 ()));
   Alcotest.check_raises "negative interval"
-    (Invalid_argument "Config: interval must be positive") (fun () ->
+    (Invalid_argument "Config: interval = -1 (must be positive)") (fun () ->
       ignore (Config.make ~interval:(-1.0) ()));
-  Alcotest.check_raises "NaN interval" (Invalid_argument "Config: interval must be positive")
-    (fun () -> ignore (Config.make ~interval:Float.nan ()));
+  Alcotest.check_raises "NaN interval"
+    (Invalid_argument "Config: interval = nan (must be positive)") (fun () ->
+      ignore (Config.make ~interval:Float.nan ()));
   Alcotest.check_raises "negative pool capacity"
-    (Invalid_argument "Config: local_pool_capacity < 0") (fun () ->
-      ignore (Config.make ~local_pool_capacity:(-1) ()));
-  Alcotest.check_raises "zero idle_poll" (Invalid_argument "Config: idle_poll must be positive")
-    (fun () -> ignore (Config.make ~idle_poll:0.0 ()));
-  Alcotest.check_raises "NaN idle_poll" (Invalid_argument "Config: idle_poll must be positive")
-    (fun () -> ignore (Config.make ~idle_poll:Float.nan ()))
+    (Invalid_argument "Config: local_pool_capacity = -1 (must be non-negative)")
+    (fun () -> ignore (Config.make ~local_pool_capacity:(-1) ()));
+  Alcotest.check_raises "zero idle_poll"
+    (Invalid_argument "Config: idle_poll = 0 (must be positive)") (fun () ->
+      ignore (Config.make ~idle_poll:0.0 ()));
+  Alcotest.check_raises "NaN idle_poll"
+    (Invalid_argument "Config: idle_poll = nan (must be positive)") (fun () ->
+      ignore (Config.make ~idle_poll:Float.nan ()))
+
+let test_config_errors_uniform_shape () =
+  (* The "Config: <field> = <value> (must be <requirement>)" shape is a
+     stable contract: harness code greps the field name out of it. *)
+  let message_of f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument m -> m
+  in
+  List.iter
+    (fun (field, f) ->
+      let m = message_of f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names the field" m)
+        true
+        (Astring_contains.contains m ("Config: " ^ field ^ " = "));
+      Alcotest.(check bool)
+        (Printf.sprintf "%S states the requirement" m)
+        true
+        (Astring_contains.contains m "(must be "))
+    [
+      ("interval", fun () -> ignore (Config.make ~interval:(-2.5) ()));
+      ( "local_pool_capacity",
+        fun () -> ignore (Config.make ~local_pool_capacity:(-7) ()) );
+      ("idle_poll", fun () -> ignore (Config.make ~idle_poll:(-1e-6) ()));
+    ]
 
 let test_config_make_defaults () =
   Alcotest.(check bool) "make () = default" true (Config.make () = Config.default);
@@ -128,7 +161,7 @@ let test_runtime_create_validates_config () =
   let eng = Engine.create () in
   let kernel = Kernel.create eng (Machine.with_cores Machine.skylake 1) in
   Alcotest.check_raises "bad config rejected"
-    (Invalid_argument "Config: interval must be positive") (fun () ->
+    (Invalid_argument "Config: interval = nan (must be positive)") (fun () ->
       ignore
         (Runtime.create
            ~config:{ Config.default with Config.interval = Float.nan }
@@ -155,7 +188,7 @@ let test_abt_init_strategies () =
   Engine.run eng;
   Alcotest.(check bool) "chain strategy preempts" true (Runtime.preempt_signals rt > 0);
   Alcotest.check_raises "invalid via Config.make"
-    (Invalid_argument "Config: interval must be positive") (fun () ->
+    (Invalid_argument "Config: interval = nan (must be positive)") (fun () ->
       ignore (Abt.init ~preemption:Float.nan kernel ~num_xstreams:1 ()))
 
 let suite =
@@ -170,6 +203,8 @@ let suite =
     Alcotest.test_case "kernel accessors" `Quick test_kernel_accessors;
     Alcotest.test_case "with_cores preserves costs" `Quick test_machine_with_cores_preserves_costs;
     Alcotest.test_case "Config.make validation" `Quick test_config_make_validation;
+    Alcotest.test_case "Config errors name field and value" `Quick
+      test_config_errors_uniform_shape;
     Alcotest.test_case "Config.make defaults" `Quick test_config_make_defaults;
     Alcotest.test_case "metrics naming unified" `Quick test_config_metrics_alias;
     Alcotest.test_case "Runtime.create validates config" `Quick test_runtime_create_validates_config;

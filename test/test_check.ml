@@ -1,0 +1,219 @@
+(* The checker checking itself: DFS completeness on a toy program with
+   a known interleaving count, seeded regressions that must be caught
+   within their committed budgets, deterministic replay of shrunk
+   counterexamples, and the trail/strategy plumbing. *)
+
+open Desim
+
+let violation_of name (r : Check.report) =
+  match r.Check.result with
+  | `Violation cx -> cx
+  | `Ok -> Alcotest.failf "%s: expected a violation, got none" name
+
+let assert_ok name (r : Check.report) =
+  match r.Check.result with
+  | `Ok -> ()
+  | `Violation cx -> Alcotest.failf "%s:\n%s" name (Check.describe cx)
+
+(* ------------------------------------------------------------------ *)
+(* DFS completeness: two processes, each "mark; delay 0; mark", give
+   exactly C(4,2) = 6 interleavings of aabb.  DFS must enumerate every
+   one exactly once and then report the space exhausted. *)
+
+let toy_prog orders env =
+  let order = Buffer.create 4 in
+  let proc name () =
+    Buffer.add_string order name;
+    Engine.delay 0.0;
+    Buffer.add_string order name
+  in
+  Engine.spawn env.Check.eng "A" (proc "a");
+  Engine.spawn env.Check.eng "B" (proc "b");
+  Check.program ~oracle:(fun () -> orders := Buffer.contents order :: !orders) ()
+
+let test_dfs_enumerates_toy () =
+  let orders = ref [] in
+  let r = Check.run ~budget:100 ~strategy:Check.Dfs (toy_prog orders) in
+  assert_ok "toy program" r;
+  Alcotest.(check bool) "space exhausted" true r.Check.exhausted;
+  Alcotest.(check int) "six schedules run" 6 r.Check.schedules;
+  let seen = List.sort compare !orders in
+  Alcotest.(check (list string)) "every interleaving exactly once"
+    [ "aabb"; "abab"; "abba"; "baab"; "baba"; "bbaa" ]
+    seen
+
+let test_dfs_is_deterministic () =
+  let once () =
+    let orders = ref [] in
+    ignore (Check.run ~budget:100 ~strategy:Check.Dfs (toy_prog orders));
+    !orders
+  in
+  Alcotest.(check (list string)) "same enumeration order" (once ()) (once ())
+
+(* Random walk on the same toy: every schedule is legal, none crashes,
+   and distinct seeds reach more than one interleaving. *)
+let test_random_walk_toy () =
+  let orders = ref [] in
+  let r =
+    Check.run ~seed:13 ~budget:40 ~strategy:Check.Random_walk (toy_prog orders)
+  in
+  assert_ok "toy program" r;
+  Alcotest.(check int) "all schedules run" 40 r.Check.schedules;
+  let distinct = List.sort_uniq compare !orders in
+  Alcotest.(check bool) "explored more than one interleaving" true
+    (List.length distinct > 1);
+  List.iter
+    (fun o ->
+      if not (List.mem o [ "aabb"; "abab"; "abba"; "baab"; "baba"; "bbaa" ])
+      then Alcotest.failf "illegal interleaving %S" o)
+    distinct
+
+(* PCT keeps the default schedule when d = 0 and diverges for d > 0. *)
+let test_pct_depth_zero_is_default () =
+  let orders = ref [] in
+  let r = Check.run ~budget:5 ~strategy:(Check.Pct 0) (toy_prog orders) in
+  assert_ok "toy program" r;
+  (* "abab": each [delay 0.] re-posts behind the already-queued peer,
+     so the default tie-break alternates the two processes. *)
+  Alcotest.(check (list string)) "always the default interleaving"
+    [ "abab"; "abab"; "abab"; "abab"; "abab" ]
+    !orders
+
+(* ------------------------------------------------------------------ *)
+(* Seeded regressions over the scenario registry: the committed budgets
+   in Scenarios.all must suffice, the shrunk counterexample must be
+   small, and replaying it must deterministically reproduce the same
+   violation. *)
+
+let scenario name =
+  match Check.Scenarios.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "scenario %S missing from registry" name
+
+let run_scenario (s : Check.Scenarios.t) =
+  Check.run ~seed:1 ~faults:s.Check.Scenarios.sfaults
+    ~budget:s.Check.Scenarios.sbudget ~strategy:Check.Random_walk
+    s.Check.Scenarios.prog
+
+let test_deadlock_caught_and_shrunk () =
+  let s = scenario "deadlock" in
+  let cx = violation_of "deadlock" (run_scenario s) in
+  Alcotest.(check bool) "reported as deadlock" true
+    (Astring_contains.contains cx.Check.cx_message "deadlock");
+  Alcotest.(check bool) "names both threads" true
+    (Astring_contains.contains cx.Check.cx_message "lock-ab"
+    && Astring_contains.contains cx.Check.cx_message "lock-ba");
+  (* The AB/BA inversion deadlocks even in the default schedule, so
+     greedy shrinking must drive every forced pick back to 0. *)
+  Alcotest.(check int) "shrunk to the default schedule" 0
+    (Check.Trail.forced cx.Check.cx_trail)
+
+let test_deadlock_replay_is_deterministic () =
+  let s = scenario "deadlock" in
+  let cx = violation_of "first run" (run_scenario s) in
+  (* Same (seed, strategy, budget) triple: identical counterexample. *)
+  let cx' = violation_of "second run" (run_scenario s) in
+  Alcotest.(check string) "same message" cx.Check.cx_message
+    cx'.Check.cx_message;
+  Alcotest.(check int) "same failing schedule" cx.Check.cx_schedule
+    cx'.Check.cx_schedule;
+  Alcotest.(check string) "same shrunk trail"
+    (Check.Trail.signature cx.Check.cx_trail)
+    (Check.Trail.signature cx'.Check.cx_trail);
+  (* Replaying the shrunk trail reproduces the violation. *)
+  let rep = Check.replay cx s.Check.Scenarios.prog in
+  let cxr = violation_of "trail replay" rep in
+  Alcotest.(check string) "replay reproduces the message" cx.Check.cx_message
+    cxr.Check.cx_message
+
+let test_lost_wakeup_caught () =
+  let s = scenario "lost-wakeup" in
+  let cx = violation_of "lost-wakeup" (run_scenario s) in
+  Alcotest.(check bool) "waiter is stuck" true
+    (Astring_contains.contains cx.Check.cx_message "waiter");
+  (* The bug needs a worker stall: the shrunk schedule keeps at least
+     one forced pick, and replaying it still deadlocks. *)
+  Alcotest.(check bool) "shrunk schedule still forces choices" true
+    (Check.Trail.forced cx.Check.cx_trail > 0);
+  let cxr =
+    violation_of "trail replay" (Check.replay cx s.Check.Scenarios.prog)
+  in
+  Alcotest.(check string) "deterministic replay" cx.Check.cx_message
+    cxr.Check.cx_message
+
+let test_racy_flag_caught () =
+  let s = scenario "racy-flag" in
+  let cx = violation_of "racy-flag" (run_scenario s) in
+  Alcotest.(check bool) "mutual-exclusion violation" true
+    (Astring_contains.contains cx.Check.cx_message "mutual exclusion")
+
+let test_pass_scenarios_pass () =
+  List.iter
+    (fun (s : Check.Scenarios.t) ->
+      if s.Check.Scenarios.expect = Check.Scenarios.Pass then
+        assert_ok s.Check.Scenarios.sname (run_scenario s))
+    Check.Scenarios.all
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing: trails, oracles, controller validation. *)
+
+let test_trail_summary () =
+  let t =
+    [|
+      { Check.Trail.tag = "engine.tie"; n = 3; picked = 0 };
+      { Check.Trail.tag = "steal.victim"; n = 2; picked = 1 };
+      { Check.Trail.tag = "engine.tie"; n = 2; picked = 0 };
+    |]
+  in
+  Alcotest.(check int) "forced" 1 (Check.Trail.forced t);
+  Alcotest.(check int) "length" 3 (Check.Trail.length t);
+  Alcotest.(check bool) "summary names the forced pick" true
+    (Astring_contains.contains (Check.Trail.to_string t) "steal.victim = 1/2");
+  Alcotest.(check string) "signature" "0.1.0." (Check.Trail.signature t)
+
+let test_excl_monitor () =
+  let e = Check.Excl.create "crit" in
+  Check.Excl.enter e;
+  Check.Excl.leave e;
+  Check.Excl.critical e (fun () -> ());
+  Alcotest.(check int) "entries counted" 2 (Check.Excl.entries e);
+  Check.Excl.enter e;
+  Alcotest.check_raises "second entrant trips the monitor"
+    (Check.Violation "mutual exclusion violated: 2 threads inside crit")
+    (fun () -> Check.Excl.enter e)
+
+let test_choice_validates_picks () =
+  let c = Choice.create ~choose:(fun ~n:_ ~tag:_ -> 7) () in
+  Alcotest.check_raises "out-of-range pick rejected"
+    (Invalid_argument "Choice: x picked 7 of 3") (fun () ->
+      ignore (Choice.pick c ~n:3 ~tag:"x"))
+
+let test_run_rejects_bad_budget () =
+  Alcotest.check_raises "budget must be positive"
+    (Invalid_argument "Check.run: budget must be positive") (fun () ->
+      ignore
+        (Check.run ~budget:0 ~strategy:Check.Random_walk (fun _ ->
+             Check.program ())))
+
+let suite =
+  [
+    Alcotest.test_case "DFS enumerates the toy space" `Quick
+      test_dfs_enumerates_toy;
+    Alcotest.test_case "DFS is deterministic" `Quick test_dfs_is_deterministic;
+    Alcotest.test_case "random walk stays legal" `Quick test_random_walk_toy;
+    Alcotest.test_case "PCT depth 0 is the default schedule" `Quick
+      test_pct_depth_zero_is_default;
+    Alcotest.test_case "deadlock caught and shrunk" `Quick
+      test_deadlock_caught_and_shrunk;
+    Alcotest.test_case "deadlock replay deterministic" `Quick
+      test_deadlock_replay_is_deterministic;
+    Alcotest.test_case "lost wakeup caught" `Quick test_lost_wakeup_caught;
+    Alcotest.test_case "racy flag caught" `Quick test_racy_flag_caught;
+    Alcotest.test_case "pass scenarios pass" `Quick test_pass_scenarios_pass;
+    Alcotest.test_case "trail summary" `Quick test_trail_summary;
+    Alcotest.test_case "excl monitor" `Quick test_excl_monitor;
+    Alcotest.test_case "choice validates picks" `Quick
+      test_choice_validates_picks;
+    Alcotest.test_case "run rejects bad budget" `Quick
+      test_run_rejects_bad_budget;
+  ]

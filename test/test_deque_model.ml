@@ -1,0 +1,165 @@
+(* QCheck linearizability-style model test: Fiber.Deque — a
+   mutex-protected ring buffer with free-running indices — against a
+   reference two-list functional deque, including wraparound of the
+   indices and growth past the initial capacity (16). *)
+
+(* Reference model: [front] head-first, [back] tail-first.  The owner
+   end is the back, the thief end is the front. *)
+type 'a model = { mutable front : 'a list; mutable back : 'a list }
+
+let m_create () = { front = []; back = [] }
+
+let m_push m x = m.back <- x :: m.back
+
+let m_push_front m x = m.front <- x :: m.front
+
+let m_pop m =
+  match m.back with
+  | x :: r ->
+      m.back <- r;
+      Some x
+  | [] -> (
+      match List.rev m.front with
+      | [] -> None
+      | x :: r ->
+          m.front <- List.rev r;
+          Some x)
+
+let m_steal m =
+  match m.front with
+  | x :: r ->
+      m.front <- r;
+      Some x
+  | [] -> (
+      match List.rev m.back with
+      | [] -> None
+      | x :: r ->
+          m.back <- List.rev r;
+          Some x)
+
+let m_length m = List.length m.front + List.length m.back
+
+type op = Push of int | Push_front of int | Pop | Steal
+
+let op_print = function
+  | Push v -> Printf.sprintf "push %d" v
+  | Push_front v -> Printf.sprintf "push_front %d" v
+  | Pop -> "pop"
+  | Steal -> "steal"
+
+(* Push-biased op sequences so the live population regularly exceeds
+   the initial capacity of 16 and the ring both grows and wraps. *)
+let ops_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      list_size (int_range 30 250)
+        (frequency
+           [
+             (3, map (fun v -> Push v) small_nat);
+             (2, map (fun v -> Push_front v) small_nat);
+             (2, return Pop);
+             (2, return Steal);
+           ]))
+  in
+  make ~print:(fun ops -> String.concat "; " (List.map op_print ops)) gen
+
+let agree what step a b =
+  if a <> b then
+    QCheck.Test.fail_reportf "step %d: %s returned %s, model says %s" step what
+      (match a with Some v -> string_of_int v | None -> "None")
+      (match b with Some v -> string_of_int v | None -> "None")
+
+let model_check =
+  QCheck.Test.make ~name:"Fiber.Deque agrees with the two-list model"
+    ~count:300 ops_arb (fun ops ->
+      let d = Fiber.Deque.create () in
+      let m = m_create () in
+      List.iteri
+        (fun step op ->
+          (match op with
+          | Push v ->
+              Fiber.Deque.push d v;
+              m_push m v
+          | Push_front v ->
+              Fiber.Deque.push_front d v;
+              m_push_front m v
+          | Pop -> agree "pop" step (Fiber.Deque.pop d) (m_pop m)
+          | Steal -> agree "steal" step (Fiber.Deque.steal d) (m_steal m));
+          if Fiber.Deque.length d <> m_length m then
+            QCheck.Test.fail_reportf "step %d: length %d, model says %d" step
+              (Fiber.Deque.length d) (m_length m))
+        ops;
+      (* Drain from alternating ends: contents must match element for
+         element, not just in length. *)
+      let i = ref 0 in
+      while Fiber.Deque.length d > 0 || m_length m > 0 do
+        if !i land 1 = 0 then agree "drain pop" !i (Fiber.Deque.pop d) (m_pop m)
+        else agree "drain steal" !i (Fiber.Deque.steal d) (m_steal m);
+        incr i
+      done;
+      true)
+
+(* Free-running indices pass the capacity boundary many times while the
+   live population stays below it: pure wraparound, no growth. *)
+let test_wraparound_without_growth () =
+  let d = Fiber.Deque.create () in
+  let m = m_create () in
+  for cycle = 0 to 9 do
+    for k = 0 to 9 do
+      let v = (cycle * 10) + k in
+      Fiber.Deque.push d v;
+      m_push m v
+    done;
+    for _ = 1 to 6 do
+      Alcotest.(check (option int)) "pop" (m_pop m) (Fiber.Deque.pop d)
+    done;
+    for _ = 1 to 4 do
+      Alcotest.(check (option int)) "steal" (m_steal m) (Fiber.Deque.steal d)
+    done
+  done;
+  Alcotest.(check int) "drained" 0 (Fiber.Deque.length d)
+
+(* Growth past the initial capacity: order must survive the resize. *)
+let test_growth_past_capacity () =
+  let d = Fiber.Deque.create () in
+  for i = 0 to 99 do
+    Fiber.Deque.push d i
+  done;
+  Alcotest.(check int) "all live" 100 (Fiber.Deque.length d);
+  for i = 0 to 49 do
+    Alcotest.(check (option int)) "steal FIFO" (Some i) (Fiber.Deque.steal d)
+  done;
+  for i = 99 downto 50 do
+    Alcotest.(check (option int)) "pop LIFO" (Some i) (Fiber.Deque.pop d)
+  done;
+  Alcotest.(check (option int)) "pop empty" None (Fiber.Deque.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Fiber.Deque.steal d)
+
+(* push_front interleaved with growth: the owner reaches a front-pushed
+   element only after everything pushed at the back. *)
+let test_push_front_ordering () =
+  let d = Fiber.Deque.create () in
+  Fiber.Deque.push_front d (-1);
+  for i = 0 to 19 do
+    Fiber.Deque.push d i
+  done;
+  Fiber.Deque.push_front d (-2);
+  Alcotest.(check (option int)) "thief sees newest front" (Some (-2))
+    (Fiber.Deque.steal d);
+  Alcotest.(check (option int)) "then the older front" (Some (-1))
+    (Fiber.Deque.steal d);
+  for i = 19 downto 0 do
+    Alcotest.(check (option int)) "owner pops back" (Some i)
+      (Fiber.Deque.pop d)
+  done;
+  Alcotest.(check int) "empty" 0 (Fiber.Deque.length d)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest model_check;
+    Alcotest.test_case "wraparound without growth" `Quick
+      test_wraparound_without_growth;
+    Alcotest.test_case "growth past capacity" `Quick test_growth_past_capacity;
+    Alcotest.test_case "push_front ordering" `Quick test_push_front_ordering;
+  ]

@@ -7,6 +7,8 @@ let with_pool ?(domains = 3) f =
   Fun.protect ~finally:(fun () -> Fiber.shutdown pool) (fun () -> f pool)
 
 let test_mutex_counter () =
+  (* Domain-level smoke; the schedule-exhaustive version of this
+     pattern runs under Check.run below. *)
   with_pool (fun pool ->
       let m = Fsync.Mutex.create () in
       let counter = ref 0 in
@@ -14,12 +16,12 @@ let test_mutex_counter () =
           let ps =
             List.init 8 (fun _ ->
                 Fiber.spawn (fun () ->
-                    for _ = 1 to 500 do
+                    for _ = 1 to 100 do
                       Fsync.Mutex.with_lock m (fun () -> incr counter)
                     done))
           in
           List.iter Fiber.await ps);
-      Alcotest.(check int) "no lost updates" 4000 !counter)
+      Alcotest.(check int) "no lost updates" 800 !counter)
 
 let test_mutex_trylock () =
   with_pool ~domains:1 (fun pool ->
@@ -137,6 +139,158 @@ let test_producer_consumer_pipeline () =
       in
       Alcotest.(check int) "pipeline sum" (2 * 50 * 51 / 2) result)
 
+(* ------------------------------------------------------------------ *)
+(* The same synchronization patterns, ported onto the simulated
+   preemptive runtime and explored under Check.run: instead of trusting
+   one real-domain interleaving per CI run, each pattern is checked
+   across a fixed budget of controller-driven schedules with fault
+   injection, and any violation comes back as a replayable trail. *)
+
+open Oskern
+open Preempt_core
+
+let check_budget = 200
+
+let checked_rt (env : Check.env) =
+  let kernel =
+    Kernel.create ~trace:env.Check.trace env.Check.eng
+      (Machine.with_cores Machine.skylake 2)
+  in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval = 0.3e-3;
+      metrics_enabled = true;
+    }
+  in
+  Runtime.create ~config kernel ~n_workers:2
+
+let assert_ok name (r : Check.report) =
+  match r.Check.result with
+  | `Ok -> ()
+  | `Violation cx -> Alcotest.failf "%s:\n%s" name (Check.describe cx)
+
+let test_mutex_counter_checked () =
+  let n_threads = 4 and rounds = 25 in
+  let prog env =
+    let rt = checked_rt env in
+    let m = Usync.Mutex.create rt in
+    let counter = ref 0 in
+    let us =
+      List.init n_threads (fun i ->
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+            ~name:(Printf.sprintf "c%d" i)
+            (fun () ->
+              for _ = 1 to rounds do
+                Usync.Mutex.lock m;
+                let v = !counter in
+                Ult.compute 2e-5;
+                (* preemption window inside the critical section *)
+                counter := v + 1;
+                Usync.Mutex.unlock m
+              done))
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:us ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        Check.require
+          (!counter = n_threads * rounds)
+          "lost updates: counter %d, expected %d" !counter
+          (n_threads * rounds);
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "mutex counter"
+    (Check.run ~seed:21 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
+
+let test_channel_spmc_checked () =
+  let consumers = 4 and per_consumer = 15 in
+  let n = consumers * per_consumer in
+  let prog env =
+    let rt = checked_rt env in
+    let ch = Usync.Channel.create rt in
+    let total = ref 0 in
+    let cs =
+      List.init consumers (fun i ->
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+            ~name:(Printf.sprintf "cons%d" i)
+            (fun () ->
+              for _ = 1 to per_consumer do
+                total := !total + Usync.Channel.recv ch;
+                Ult.compute 1e-5
+              done))
+    in
+    let prod =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"prod"
+        (fun () ->
+          for i = 1 to n do
+            Usync.Channel.send ch i;
+            if i mod 10 = 0 then Ult.compute 5e-5
+          done)
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:(prod :: cs) ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        Check.require
+          (!total = n * (n + 1) / 2)
+          "each message received exactly once: sum %d, expected %d" !total
+          (n * (n + 1) / 2);
+        Check.require (Usync.Channel.length ch = 0) "channel not drained";
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "channel SPMC"
+    (Check.run ~seed:23 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
+
+let test_pipeline_checked () =
+  let n = 30 in
+  let prog env =
+    let rt = checked_rt env in
+    let stage1 = Usync.Channel.create rt in
+    let stage2 = Usync.Channel.create rt in
+    let acc = ref 0 in
+    let squarer =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"squarer"
+        (fun () ->
+          for _ = 1 to n do
+            Usync.Channel.send stage2 (Usync.Channel.recv stage1 * 2);
+            Ult.compute 1e-5
+          done)
+    in
+    let summer =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"summer"
+        (fun () ->
+          for _ = 1 to n do
+            acc := !acc + Usync.Channel.recv stage2
+          done)
+    in
+    let feeder =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"feeder"
+        (fun () ->
+          for i = 1 to n do
+            Usync.Channel.send stage1 i
+          done)
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:[ squarer; summer; feeder ] ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        Check.require
+          (!acc = n * (n + 1))
+          "pipeline sum %d, expected %d" !acc
+          (n * (n + 1));
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "pipeline"
+    (Check.run ~seed:29 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
+
 let suite =
   [
     Alcotest.test_case "mutex protects counter" `Quick test_mutex_counter;
@@ -147,4 +301,9 @@ let suite =
     Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
     Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
     Alcotest.test_case "producer/consumer pipeline" `Quick test_producer_consumer_pipeline;
+    Alcotest.test_case "mutex counter, checked x200" `Quick
+      test_mutex_counter_checked;
+    Alcotest.test_case "channel SPMC, checked x200" `Quick
+      test_channel_spmc_checked;
+    Alcotest.test_case "pipeline, checked x200" `Quick test_pipeline_checked;
   ]

@@ -176,157 +176,213 @@ let test_mutex_with_preemption () =
   Alcotest.(check (list string)) "handoff order" [ "holder"; "waiter" ] (List.rev !order)
 
 (* ------------------------------------------------------------------ *)
-(* Hardening: the same primitives under KLT-switching preemption with a
-   small timer interval, at >= 1000 operations. *)
+(* Hardening: the same primitives under KLT-switching preemption, now
+   explored with Check.run across a fixed budget of controller-driven
+   schedules (with fault injection: delayed/coalesced timers, KLT-pool
+   exhaustion, spurious futex wakeups, worker stalls) instead of one
+   seeded run.  Per-schedule workloads are smaller, but the total
+   operation count across the budget stays well above 1000. *)
 
-let preemptive_rt ?(seed = 0) ?(cores = 2) ?(workers = 2) ?(interval = 0.3e-3)
-    ?(metrics = false) () =
-  let eng = Engine.create ~seed () in
-  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake cores) in
+let check_budget = 200
+
+let checked_rt (env : Check.env) ?(cores = 2) ?(workers = 2)
+    ?(interval = 0.3e-3) () =
+  let kernel =
+    Kernel.create ~trace:env.Check.trace env.Check.eng
+      (Machine.with_cores Machine.skylake cores)
+  in
   let config =
     {
       Config.default with
       Config.timer_strategy = Config.Per_worker_aligned;
       interval;
-      metrics_enabled = metrics;
+      metrics_enabled = true;
     }
   in
-  (eng, Runtime.create ~config kernel ~n_workers:workers)
+  Runtime.create ~config kernel ~n_workers:workers
 
-let test_mutex_fairness_preempted () =
-  (* Six KLT-switching threads hammer one mutex for 25 rounds each.
-     FIFO handoff bounds the starvation window: between two consecutive
-     acquisitions by the same thread, at most 2N-1 others can slip in
-     (the queue ahead of it, plus threads that re-enqueued while it was
-     being handed the lock). *)
-  let n_threads = 6 and rounds = 25 in
-  let eng, rt = preemptive_rt () in
-  let m = Usync.Mutex.create rt in
-  let seq = ref [] in
-  for i = 0 to n_threads - 1 do
-    ignore
-      (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
-         ~name:(Printf.sprintf "f%d" i)
-         (fun () ->
-           Ult.compute (float_of_int i *. 1e-5);
-           for _ = 1 to rounds do
-             Usync.Mutex.lock m;
-             seq := i :: !seq;
-             Ult.compute 4e-4;
-             (* long enough to be preempted while holding *)
-             Usync.Mutex.unlock m;
-             Ult.compute 1e-5
-           done))
-  done;
-  Runtime.start rt;
-  Engine.run ~until:60.0 eng;
-  let seq = List.rev !seq in
-  Alcotest.(check int) "every acquisition happened" (n_threads * rounds)
-    (List.length seq);
-  let per_thread = Array.make n_threads 0 in
-  List.iter (fun i -> per_thread.(i) <- per_thread.(i) + 1) seq;
-  Array.iteri
-    (fun i c ->
-      if c <> rounds then Alcotest.failf "thread %d acquired %d times" i c)
-    per_thread;
-  (* Starvation bound. *)
-  let last = Array.make n_threads (-1) in
-  List.iteri
-    (fun pos i ->
-      if last.(i) >= 0 && pos - last.(i) > (2 * n_threads) - 1 then
-        Alcotest.failf "thread %d starved for %d acquisitions" i (pos - last.(i));
-      last.(i) <- pos)
-    seq;
-  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt);
-  Alcotest.(check bool) "holders were really preempted" true
-    (Runtime.preempt_signals rt > 0)
+let assert_ok name (r : Check.report) =
+  match r.Check.result with
+  | `Ok -> ()
+  | `Violation cx -> Alcotest.failf "%s:\n%s" name (Check.describe cx)
 
-let test_channel_fifo_preempted_1000 () =
-  (* 1200 messages through one channel, both ends KLT-switching and
-     preempted mid-stream: order preserved, nothing lost. *)
-  let n_msgs = 1200 in
-  let eng, rt = preemptive_rt ~seed:3 () in
-  let ch = Usync.Channel.create rt in
-  let got = ref [] in
-  ignore
-    (Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"cons" (fun () ->
-         for _ = 1 to n_msgs do
-           got := Usync.Channel.recv ch :: !got;
-           if List.length !got mod 100 = 0 then Ult.compute 3e-4
-         done));
-  ignore
-    (Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"prod" (fun () ->
-         for i = 1 to n_msgs do
-           Usync.Channel.send ch i;
-           if i mod 150 = 0 then Ult.compute 4e-4
-         done));
-  Runtime.start rt;
-  Engine.run ~until:60.0 eng;
-  Alcotest.(check int) "all delivered" n_msgs (List.length !got);
-  Alcotest.(check (list int)) "in order"
-    (List.init n_msgs (fun i -> i + 1))
-    (List.rev !got);
-  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt)
+let test_mutex_fairness_checked () =
+  (* Six KLT-switching threads hammer one mutex; FIFO handoff bounds
+     the starvation window: between two consecutive acquisitions by the
+     same thread, at most 2N-1 others can slip in.  Must hold in every
+     explored schedule. *)
+  let n_threads = 6 and rounds = 4 in
+  let prog env =
+    let rt = checked_rt env () in
+    let m = Usync.Mutex.create rt in
+    let seq = ref [] in
+    let us =
+      List.init n_threads (fun i ->
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+            ~name:(Printf.sprintf "f%d" i)
+            (fun () ->
+              Ult.compute (float_of_int i *. 1e-5);
+              for _ = 1 to rounds do
+                Usync.Mutex.lock m;
+                seq := i :: !seq;
+                Ult.compute 4e-4;
+                (* long enough to be preempted while holding *)
+                Usync.Mutex.unlock m;
+                Ult.compute 1e-5
+              done))
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:us ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        let seq = List.rev !seq in
+        Check.require
+          (List.length seq = n_threads * rounds)
+          "%d acquisitions, expected %d" (List.length seq)
+          (n_threads * rounds);
+        let per_thread = Array.make n_threads 0 in
+        List.iter (fun i -> per_thread.(i) <- per_thread.(i) + 1) seq;
+        Array.iteri
+          (fun i c ->
+            Check.require (c = rounds) "thread %d acquired %d times" i c)
+          per_thread;
+        let last = Array.make n_threads (-1) in
+        List.iteri
+          (fun pos i ->
+            Check.require
+              (last.(i) < 0 || pos - last.(i) <= (2 * n_threads) - 1)
+              "thread %d starved for %d acquisitions" i (pos - last.(i));
+            last.(i) <- pos)
+          seq;
+        Check.require
+          (Runtime.preempt_signals rt > 0)
+          "holders were never preempted";
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "mutex fairness"
+    (Check.run ~seed:7 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
 
-let test_barrier_stress_preempted () =
-  (* Six KLT-switching threads cross a shared barrier 50 times with
-     skewed per-phase work; every phase must see exactly six crossings
-     and no thread may run ahead. *)
-  let n_threads = 6 and phases = 50 in
-  let eng, rt = preemptive_rt ~seed:11 ~cores:3 ~workers:3 () in
-  let b = Usync.Barrier.create rt n_threads in
-  let counts = Array.make phases 0 in
-  let skew_violation = ref false in
-  for i = 0 to n_threads - 1 do
-    ignore
-      (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 3)
-         ~name:(Printf.sprintf "b%d" i)
-         (fun () ->
-           for p = 0 to phases - 1 do
-             Ult.compute (1e-5 *. float_of_int (((i + p) mod n_threads) + 1));
-             (* Everyone still in phase p: no count for p+1 may exist. *)
-             if p + 1 < phases && counts.(p + 1) > 0 then skew_violation := true;
-             Usync.Barrier.wait b;
-             counts.(p) <- counts.(p) + 1
-           done))
-  done;
-  Runtime.start rt;
-  Engine.run ~until:60.0 eng;
-  Array.iteri
-    (fun p c -> if c <> n_threads then Alcotest.failf "phase %d: %d crossings" p c)
-    counts;
-  Alcotest.(check bool) "no phase skew" false !skew_violation;
-  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt)
+let test_channel_fifo_checked () =
+  (* 60 messages per schedule through one channel, both ends preempted
+     mid-stream: order preserved, nothing lost, in every schedule
+     (12000 messages across the budget). *)
+  let n_msgs = 60 in
+  let prog env =
+    let rt = checked_rt env () in
+    let ch = Usync.Channel.create rt in
+    let got = ref [] in
+    let cons =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"cons"
+        (fun () ->
+          for _ = 1 to n_msgs do
+            got := Usync.Channel.recv ch :: !got;
+            if List.length !got mod 20 = 0 then Ult.compute 3e-4
+          done)
+    in
+    let prod =
+      Runtime.spawn rt ~kind:Types.Klt_switching ~home:1 ~name:"prod"
+        (fun () ->
+          for i = 1 to n_msgs do
+            Usync.Channel.send ch i;
+            if i mod 15 = 0 then Ult.compute 4e-4
+          done)
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:[ cons; prod ] ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        Check.require
+          (List.length !got = n_msgs)
+          "%d of %d messages delivered" (List.length !got) n_msgs;
+        Check.require
+          (List.rev !got = List.init n_msgs (fun i -> i + 1))
+          "messages reordered";
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "channel FIFO"
+    (Check.run ~seed:3 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
 
-let test_no_lost_wakeups () =
-  (* Every block recorded by the sync layer must be matched by a wakeup
-     once the run drains — a lost wakeup shows up as blocks > wakeups
-     plus a stuck thread. *)
-  let eng, rt = preemptive_rt ~seed:5 ~metrics:true () in
-  let m = Usync.Mutex.create rt in
-  let ch = Usync.Channel.create rt in
-  let b = Usync.Barrier.create rt 4 in
-  for i = 0 to 3 do
-    ignore
-      (Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
-         ~name:(Printf.sprintf "w%d" i)
-         (fun () ->
-           for r = 1 to 60 do
-             Usync.Mutex.lock m;
-             Ult.compute 5e-5;
-             Usync.Mutex.unlock m;
-             if i land 1 = 0 then Usync.Channel.send ch (r * 4 + i)
-             else ignore (Usync.Channel.recv ch);
-             Usync.Barrier.wait b
-           done))
-  done;
-  Runtime.start rt;
-  Engine.run ~until:60.0 eng;
-  let s = Runtime.metrics rt in
-  Alcotest.(check int) "no stuck threads" 0 (Runtime.unfinished rt);
-  Alcotest.(check bool) "sync layer exercised" true (s.Metrics.s_sync_blocks > 0);
-  Alcotest.(check int) "every block woken" s.Metrics.s_sync_blocks
-    s.Metrics.s_sync_wakeups
+let test_barrier_stress_checked () =
+  (* Six KLT-switching threads cross a shared barrier with skewed
+     per-phase work; every phase must see exactly six crossings and no
+     thread may run ahead, in every schedule. *)
+  let n_threads = 6 and phases = 5 in
+  let prog env =
+    let rt = checked_rt env ~cores:3 ~workers:3 () in
+    let b = Usync.Barrier.create rt n_threads in
+    let counts = Array.make phases 0 in
+    let skew_violation = ref false in
+    let us =
+      List.init n_threads (fun i ->
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 3)
+            ~name:(Printf.sprintf "b%d" i)
+            (fun () ->
+              for p = 0 to phases - 1 do
+                Ult.compute (1e-5 *. float_of_int (((i + p) mod n_threads) + 1));
+                (* Everyone still in phase p: no count for p+1 yet. *)
+                if p + 1 < phases && counts.(p + 1) > 0 then
+                  skew_violation := true;
+                Usync.Barrier.wait b;
+                counts.(p) <- counts.(p) + 1
+              done))
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:us ~cores:3
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        Array.iteri
+          (fun p c ->
+            Check.require (c = n_threads) "phase %d: %d crossings" p c)
+          counts;
+        Check.require (not !skew_violation) "phase skew observed";
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "barrier stress"
+    (Check.run ~seed:11 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
+
+let test_no_lost_wakeups_checked () =
+  (* Mixed mutex + channel + barrier traffic: every block recorded by
+     the sync layer must be matched by a wakeup once the run drains, in
+     every schedule — a lost wakeup shows up as blocks > wakeups plus a
+     stuck thread (which the deadlock watchdog reports first). *)
+  let rounds = 8 in
+  let prog env =
+    let rt = checked_rt env () in
+    let m = Usync.Mutex.create rt in
+    let ch = Usync.Channel.create rt in
+    let b = Usync.Barrier.create rt 4 in
+    let us =
+      List.init 4 (fun i ->
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+            ~name:(Printf.sprintf "w%d" i)
+            (fun () ->
+              for r = 1 to rounds do
+                Usync.Mutex.lock m;
+                Ult.compute 5e-5;
+                Usync.Mutex.unlock m;
+                if i land 1 = 0 then Usync.Channel.send ch ((r * 4) + i)
+                else ignore (Usync.Channel.recv ch);
+                Usync.Barrier.wait b
+              done))
+    in
+    Runtime.start rt;
+    Check.program ~runtime:rt ~ults:us ~cores:2
+      ~oracle:(fun () ->
+        Check.all_finished rt;
+        let s = Runtime.metrics rt in
+        Check.require (s.Metrics.s_sync_blocks > 0) "sync layer not exercised";
+        Check.no_lost_wakeups rt)
+      ()
+  in
+  assert_ok "no lost wakeups"
+    (Check.run ~seed:5 ~faults:true ~budget:check_budget
+       ~strategy:Check.Random_walk prog)
 
 let suite =
   [
@@ -340,8 +396,8 @@ let suite =
     Alcotest.test_case "ivar cross-worker broadcast" `Quick test_ivar_multiple_readers_cross_worker;
     Alcotest.test_case "join many waiters" `Quick test_join_many_waiters;
     Alcotest.test_case "mutex survives preemption" `Quick test_mutex_with_preemption;
-    Alcotest.test_case "mutex fairness, preempted x150" `Quick test_mutex_fairness_preempted;
-    Alcotest.test_case "channel FIFO, preempted x1200" `Quick test_channel_fifo_preempted_1000;
-    Alcotest.test_case "barrier stress, preempted x300" `Quick test_barrier_stress_preempted;
-    Alcotest.test_case "no lost wakeups" `Quick test_no_lost_wakeups;
+    Alcotest.test_case "mutex fairness, checked x200" `Quick test_mutex_fairness_checked;
+    Alcotest.test_case "channel FIFO, checked x200" `Quick test_channel_fifo_checked;
+    Alcotest.test_case "barrier stress, checked x200" `Quick test_barrier_stress_checked;
+    Alcotest.test_case "no lost wakeups, checked x200" `Quick test_no_lost_wakeups_checked;
   ]
