@@ -99,6 +99,41 @@ let preempt_roundtrip ~kind ~scale () =
   Engine.run ~until:horizon eng;
   float_of_int (Runtime.preempt_signals rt)
 
+(* Flight-recorder overhead on the dispatch-heavy preemption path.
+   [enabled:false] is the shipped default — the recorder exists but
+   every instrumentation site reduces to one boolean load; this is the
+   same workload as preempt_klt_switch, so the pair (measured in the
+   same process) isolates the recorder's disabled-path cost from
+   machine speed.  [enabled:true] records every event into the rings
+   (wrapping), i.e. the always-on recording cost. *)
+let recorder_dispatch ~enabled ~scale () =
+  let workers = 8 in
+  let eng = Engine.create () in
+  let kernel = Kernel.create eng (Machine.with_cores Machine.skylake workers) in
+  let interval = 1e-3 in
+  let config =
+    {
+      Config.default with
+      Config.timer_strategy = Config.Per_worker_aligned;
+      interval;
+      suspend_mode = Config.Futex_suspend;
+      use_local_klt_pool = true;
+      recorder_enabled = enabled;
+    }
+  in
+  let rt = Runtime.create ~config kernel ~n_workers:workers in
+  let horizon = interval *. float_of_int (250 * scale) in
+  for i = 0 to (2 * workers) - 1 do
+    ignore
+      (Runtime.spawn rt ~kind:Types.Klt_switching ~footprint:0.0
+         ~home:(i mod workers)
+         ~name:(Printf.sprintf "spin%d" i)
+         (fun () -> Ult.compute (horizon +. 1.0)))
+  done;
+  Runtime.start rt;
+  Engine.run ~until:horizon eng;
+  float_of_int (Runtime.preempt_signals rt)
+
 (* User-level sync: mutex hand-offs and channel send/recv pairs. *)
 let usync_ops ~scale () =
   let eng = Engine.create () in
@@ -167,6 +202,8 @@ let benchmarks ~quick =
     ("spawn_yield", spawn_yield ~scale);
     ("preempt_signal_yield", preempt_roundtrip ~kind:Types.Signal_yield ~scale);
     ("preempt_klt_switch", preempt_roundtrip ~kind:Types.Klt_switching ~scale);
+    ("dispatch_recorder_off", recorder_dispatch ~enabled:false ~scale);
+    ("dispatch_recorder_on", recorder_dispatch ~enabled:true ~scale);
     ("usync_ops", usync_ops ~scale);
     ("fiber_deque_ops", fiber_deque_ops ~scale);
     ("fig4_fast_preset", fig4_fast);
@@ -278,6 +315,46 @@ let compare_entries ~tolerance ~baseline ~current =
       false
 
 (* ------------------------------------------------------------------ *)
+(* Recorder disabled-path budget.
+
+   dispatch_recorder_off runs the exact preempt_klt_switch workload, so
+   comparing the two within one run isolates what the recorder's
+   presence costs when disabled (it must reduce to one boolean load per
+   instrumentation site).  Unlike the baseline comparison this pair is
+   machine-independent — same process, same scale, correlated noise —
+   so it gets a tight 2% budget where the cross-machine band is wide. *)
+
+let recorder_off_budget = 0.02
+
+let recorder_budget_check entries =
+  let ns_per_op name =
+    List.find_opt (fun e -> e.name = name) entries
+    |> Option.map (fun e -> e.wall_s /. e.ops *. 1e9)
+  in
+  match
+    ( ns_per_op "preempt_klt_switch",
+      ns_per_op "dispatch_recorder_off",
+      ns_per_op "dispatch_recorder_on" )
+  with
+  | Some plain, Some off, Some on ->
+      let delta = (off -. plain) /. plain in
+      Printf.printf
+        "recorder disabled-path cost: %+.1f%% vs plain dispatch (budget \
+         %.0f%%); recording: %+.1f%%\n"
+        (delta *. 100.0)
+        (recorder_off_budget *. 100.0)
+        ((on -. plain) /. plain *. 100.0);
+      if delta > recorder_off_budget then begin
+        Printf.printf
+          "perf-smoke: FAIL — disabled flight recorder regressed dispatch \
+           beyond %.0f%%\n"
+          (recorder_off_budget *. 100.0);
+        false
+      end
+      else true
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
 (* CLI. *)
 
 let usage () =
@@ -340,5 +417,7 @@ let () =
       let baseline = load_entries baseline_path in
       let entries = List.map (measure ~reps:2) (benchmarks ~quick) in
       let current = List.map (fun e -> (e.name, e)) entries in
-      if not (compare_entries ~tolerance ~baseline ~current) then exit 1
+      let baseline_ok = compare_entries ~tolerance ~baseline ~current in
+      let budget_ok = recorder_budget_check entries in
+      if not (baseline_ok && budget_ok) then exit 1
   | _ -> usage ()

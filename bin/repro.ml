@@ -79,6 +79,93 @@ let all =
       ignore (Experiments.Sec351_syscalls.run ~fast ()))
 
 (* ------------------------------------------------------------------ *)
+(* repro observe — flight-recorder report (docs/observability.md)      *)
+(* ------------------------------------------------------------------ *)
+
+let observe_main json chrome dump load smoke =
+  let fail msg =
+    prerr_endline ("repro observe: " ^ msg);
+    exit 1
+  in
+  let report, spawned =
+    match load with
+    | Some path -> (
+        match Preempt_core.Recorder.load ~path with
+        | Ok d -> (Experiments.Observe.of_dump d, [])
+        | Error e -> fail (Printf.sprintf "cannot load %s: %s" path e))
+    | None ->
+        let rt, uids = Experiments.Observe.run_workload () in
+        (match dump with
+        | Some path ->
+            Preempt_core.Runtime.save_flight rt ~path;
+            Printf.eprintf "flight record written to %s\n%!" path
+        | None -> ());
+        (Experiments.Observe.of_runtime rt, uids)
+  in
+  (match chrome with
+  | Some path ->
+      Experiments.Chrome_trace.write ~path
+        (Experiments.Chrome_trace.of_flight
+           report.Experiments.Observe.r_events);
+      Printf.eprintf "chrome trace written to %s\n%!" path
+  | None -> ());
+  if json then print_string (Experiments.Observe.to_json report)
+  else Experiments.Observe.print_text report;
+  if smoke then begin
+    if load <> None then fail "--smoke needs a live run, not --load";
+    match Experiments.Observe.smoke ~spawned report with
+    | Ok () -> Printf.printf "obs-smoke: ok\n%!"
+    | Error msg -> fail ("smoke check failed: " ^ msg)
+  end
+
+let observe =
+  let doc =
+    "Run a preemption-heavy demo workload with the flight recorder on and \
+     report reconstructed ULT lifecycles, per-stage preemption-latency \
+     attribution and detected anomalies; or render a saved binary dump."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight record as Chrome trace_events JSON to $(docv) \
+             (one lifecycle lane per ULT plus a preemption-event lane).")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:"Save the run's binary flight record to $(docv).")
+  in
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:
+            "Skip the demo run; decode and report the binary flight record \
+             in $(docv) (e.g. a dump left by a $(b,repro check) violation).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Assert the record is sound: non-empty lifecycle per spawned \
+             ULT, attribution chains matching the sig_to_switch histogram \
+             within one bucket, valid Chrome JSON.  Non-zero exit on \
+             failure (the $(b,@obs-smoke) alias).")
+  in
+  Cmd.v (Cmd.info "observe" ~doc)
+    Term.(const observe_main $ json $ chrome $ dump $ load $ smoke)
+
+(* ------------------------------------------------------------------ *)
 (* repro check — schedule exploration / fault injection (lib/check)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -124,8 +211,22 @@ let dump_cx_trace trace_file (cx : Check.counterexample) =
       Printf.printf "chrome trace of the shrunk schedule written to %s\n%!" path
   | _ -> ()
 
+(* A reproduced violation leaves its flight record next to the trail:
+   [--flight FILE] picks the path, otherwise [<scenario>.flight]. *)
+let dump_cx_flight flight_file default_path (cx : Check.counterexample) =
+  if cx.Check.cx_flight <> "" then begin
+    let path = Option.value flight_file ~default:default_path in
+    let oc = open_out_bin path in
+    output_string oc cx.Check.cx_flight;
+    close_out oc;
+    Printf.printf
+      "flight record of the shrunk schedule written to %s (decode with repro \
+       observe --load)\n%!"
+      path
+  end
+
 let check_main list_scenarios prog budget strategy seed faults replay trace_file
-    =
+    flight_file =
   let fail msg =
     prerr_endline ("repro check: " ^ msg);
     exit 1
@@ -167,6 +268,9 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
         | `Violation cx ->
             print_endline (Check.describe cx);
             dump_cx_trace trace_file cx;
+            dump_cx_flight flight_file
+              (s.Check.Scenarios.sname ^ ".flight")
+              cx;
             exit 2)
     | None -> (
         match prog with
@@ -182,7 +286,8 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
             (match r.Check.result with
             | `Violation cx ->
                 print_endline (Check.describe cx);
-                dump_cx_trace trace_file cx
+                dump_cx_trace trace_file cx;
+                dump_cx_flight flight_file (name ^ ".flight") cx
             | `Ok -> ());
             if not (verdict_line name s.Check.Scenarios.expect r) then exit 1
         | None ->
@@ -261,10 +366,20 @@ let check =
           ~doc:
             "Write the Chrome trace of the shrunk failing schedule to $(docv).")
   in
+  let flight_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the binary flight record of the shrunk failing \
+             schedule (default: $(i,SCENARIO).flight next to the trail); \
+             decode with $(b,repro observe --load).")
+  in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check_main $ list_scenarios $ prog $ budget $ strategy $ seed
-      $ faults $ replay $ trace_file)
+      $ faults $ replay $ trace_file $ flight_file)
 
 let env =
   let doc = "Print the simulated machine configurations (paper Table 2)." in
@@ -288,4 +403,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; check; env ]))
+          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; observe; check; env ]))

@@ -182,6 +182,7 @@ type one = {
   o_failure : string option;
   o_trace : Trace.t;
   o_cores : int;
+  o_flight : string;
 }
 
 let message_of = function
@@ -246,20 +247,31 @@ let run_one ~decide ~faults ~max_events ~until ~deadlock_after ~record_trace
   Engine.set_controller eng (Some ctrl);
   let cores = ref 0 in
   let failure = ref None in
+  let rt_ref = ref None in
   (try
      let p = prog { eng; trace } in
      cores := p.cores;
+     rt_ref := p.runtime;
      (match p.runtime with
      | Some rt when p.ults <> [] -> watchdog eng rt p.ults ~deadlock_after
      | _ -> ());
      Engine.run ~until ~max_events eng;
      p.oracle ()
    with e -> failure := Some (message_of e));
+  (* On any failure — oracle violation, watchdog deadlock, crash — grab
+     the flight-record dump before the runtime is dropped, so the
+     counterexample report can write it next to the trail. *)
+  let o_flight =
+    match (!failure, !rt_ref) with
+    | Some _, Some rt when Runtime.recorder_enabled rt -> Runtime.flight_dump rt
+    | _ -> ""
+  in
   {
     o_trail = Array.of_list (List.rev !entries);
     o_failure = !failure;
     o_trace = trace;
     o_cores = !cores;
+    o_flight;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -275,6 +287,10 @@ type counterexample = {
   cx_faults : bool;  (** fault injection was enabled *)
   cx_trail : Trail.t;  (** shrunk trail; replay with [Replay cx_trail] *)
   cx_trace : string;  (** Chrome-trace JSON of the shrunk failing run *)
+  cx_flight : string;
+      (** binary flight-record dump of the shrunk failing run (empty if
+          the program's runtime had no recorder enabled); decode with
+          {!Preempt_core.Recorder.decode} or [repro observe --load] *)
 }
 
 type report = {
@@ -403,6 +419,7 @@ let run ?(seed = 1) ?(faults = false) ?(max_events = 2_000_000) ?(until = 30.0)
       cx_faults = faults;
       cx_trail = trail'';
       cx_trace;
+      cx_flight = (if final.o_failure <> None then final.o_flight else one.o_flight);
     }
   in
   let rec loop i =

@@ -104,6 +104,11 @@ type counterexample = {
   cx_faults : bool;  (** fault injection was enabled *)
   cx_trail : Trail.t;  (** shrunk trail; replay with [Replay cx_trail] *)
   cx_trace : string;  (** Chrome-trace JSON of the shrunk failing run *)
+  cx_flight : string;
+      (** binary flight-record dump of the shrunk failing run — empty
+          unless the program's runtime had its {!Preempt_core.Recorder}
+          enabled; decode with {!Preempt_core.Recorder.decode} or
+          [repro observe --load] *)
 }
 
 type report = {

@@ -27,7 +27,7 @@ let preemptive_rt (env : Runner.env) =
   let kernel = Kernel.create ~trace:env.Runner.trace env.Runner.eng machine in
   let config =
     Config.make ~timer_strategy:Config.Per_worker_aligned ~interval:0.3e-3
-      ~metrics_enabled:true ()
+      ~metrics_enabled:true ~recorder_enabled:true ()
   in
   Runtime.create ~config kernel ~n_workers:2
 

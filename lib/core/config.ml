@@ -31,6 +31,12 @@ type t = {
   metrics_enabled : bool;
       (** record {!Metrics} counters and latency histograms; off by
           default — the disabled path is a single branch per hook *)
+  recorder_enabled : bool;
+      (** record flight-recorder events ({!Recorder}); off by default —
+          same single-branch discipline as [metrics_enabled] *)
+  recorder_capacity : int;
+      (** events retained per flight-recorder ring (one ring per worker
+          plus a global ring) *)
 }
 
 let default =
@@ -43,6 +49,8 @@ let default =
     idle_poll = 10e-6;
     autostop = true;
     metrics_enabled = false;
+    recorder_enabled = false;
+    recorder_capacity = 4096;
   }
 
 (* Every rejection names the offending field, the value it was given
@@ -59,20 +67,18 @@ let validate c =
     reject "local_pool_capacity" (string_of_int c.local_pool_capacity) "non-negative";
   if not (c.idle_poll > 0.0) then
     reject "idle_poll" (Printf.sprintf "%g" c.idle_poll) "positive";
+  if c.recorder_capacity <= 0 then
+    reject "recorder_capacity" (string_of_int c.recorder_capacity) "positive";
   c
 
 let make ?(timer_strategy = default.timer_strategy) ?(interval = default.interval)
     ?(suspend_mode = default.suspend_mode)
     ?(use_local_klt_pool = default.use_local_klt_pool)
     ?(local_pool_capacity = default.local_pool_capacity)
-    ?(idle_poll = default.idle_poll) ?(autostop = default.autostop) ?enable_metrics
-    ?metrics_enabled () =
-  let metrics_enabled =
-    match (metrics_enabled, enable_metrics) with
-    | Some b, _ -> b
-    | None, Some b -> b
-    | None, None -> default.metrics_enabled
-  in
+    ?(idle_poll = default.idle_poll) ?(autostop = default.autostop)
+    ?(metrics_enabled = default.metrics_enabled)
+    ?(recorder_enabled = default.recorder_enabled)
+    ?(recorder_capacity = default.recorder_capacity) () =
   validate
     {
       timer_strategy;
@@ -83,6 +89,8 @@ let make ?(timer_strategy = default.timer_strategy) ?(interval = default.interva
       idle_poll;
       autostop;
       metrics_enabled;
+      recorder_enabled;
+      recorder_capacity;
     }
 
 (* The paper's §3.4 guidance on choosing a thread type, as a function:

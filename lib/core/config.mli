@@ -35,19 +35,25 @@ type t = {
   metrics_enabled : bool;
       (** record {!Metrics} counters and latency histograms; off by
           default — the disabled path is a single branch per hook *)
+  recorder_enabled : bool;
+      (** record flight-recorder events ({!Recorder}); off by default —
+          same single-branch discipline as [metrics_enabled] *)
+  recorder_capacity : int;
+      (** events retained per flight-recorder ring (one ring per worker
+          plus a global ring) *)
 }
 
 val default : t
 
 (** [validate c] returns [c] or raises [Invalid_argument] if a field is
     out of range: non-positive or NaN [interval], negative
-    [local_pool_capacity], non-positive or NaN [idle_poll]. *)
+    [local_pool_capacity], non-positive or NaN [idle_poll], non-positive
+    [recorder_capacity]. *)
 val validate : t -> t
 
 (** [make ()] builds a validated configuration; every argument defaults
-    to its {!default} value.  [enable_metrics] is a deprecated alias for
-    [metrics_enabled] (kept for one release; [metrics_enabled] wins when
-    both are given).
+    to its {!default} value.  (The deprecated [enable_metrics] alias for
+    [metrics_enabled] was removed; see docs/INTERNALS.md.)
     @raise Invalid_argument under the same conditions as {!validate}. *)
 val make :
   ?timer_strategy:timer_strategy ->
@@ -57,8 +63,9 @@ val make :
   ?local_pool_capacity:int ->
   ?idle_poll:float ->
   ?autostop:bool ->
-  ?enable_metrics:bool ->
   ?metrics_enabled:bool ->
+  ?recorder_enabled:bool ->
+  ?recorder_capacity:int ->
   unit ->
   t
 

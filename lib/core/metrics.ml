@@ -89,6 +89,30 @@ module Hist = struct
     in
     go 0 0
 
+  (* [quantile] refines [percentile] by interpolating inside the target
+     bucket: the quantile rank's fractional position among the bucket's
+     samples picks a point between the bucket edges on a log scale
+     (matching the buckets' geometric spacing).  The open-ended buckets
+     have no second edge, so they fall back to [representative]. *)
+  let quantile t p =
+    if t.n = 0 then invalid_arg "Metrics.Hist.quantile: empty histogram";
+    if p < 0.0 || p > 100.0 then invalid_arg "Metrics.Hist.quantile: p outside [0,100]";
+    let target = Stdlib.max 1.0 (p /. 100.0 *. float_of_int t.n) in
+    let rec go b acc =
+      let here = t.counts.(b) in
+      let acc' = float_of_int (acc + here) in
+      if acc' >= target && here > 0 then
+        if b = 0 || b = n_buckets - 1 then representative b
+        else begin
+          let lo, hi = bucket_bounds b in
+          let frac = (target -. float_of_int acc) /. float_of_int here in
+          let frac = Float.min 1.0 (Float.max 0.0 frac) in
+          lo *. ((hi /. lo) ** frac)
+        end
+      else go (b + 1) (acc + here)
+    in
+    go 0 0
+
   let copy t = { counts = Array.copy t.counts; n = t.n; total = t.total }
 
   let clear t =
@@ -262,10 +286,12 @@ let summary s =
     | 0 -> Buffer.add_string buf (Printf.sprintf "  %-22s (no samples)\n" name)
     | n ->
         Buffer.add_string buf
-          (Printf.sprintf "  %-22s n=%-6d mean=%8.2f us  p50=%8.2f us  p99=%8.2f us\n" name
-             n (Hist.mean h *. 1e6)
-             (Hist.percentile h 50.0 *. 1e6)
-             (Hist.percentile h 99.0 *. 1e6))
+          (Printf.sprintf
+             "  %-22s n=%-6d mean=%8.2f us  p50=%8.2f us  p90=%8.2f us  p99=%8.2f us\n"
+             name n (Hist.mean h *. 1e6)
+             (Hist.quantile h 50.0 *. 1e6)
+             (Hist.quantile h 90.0 *. 1e6)
+             (Hist.quantile h 99.0 *. 1e6))
   in
   hist "signal->switch" s.s_sig_to_switch;
   hist "sched delay" s.s_sched_delay;

@@ -65,6 +65,17 @@ module Hist : sig
       or [p] outside [\[0, 100\]]. *)
   val percentile : t -> float -> float
 
+  (** [quantile t p] refines {!percentile} by interpolating inside the
+      target bucket: the quantile rank's fractional position among the
+      bucket's samples picks a point between the bucket edges on a log
+      scale (matching the geometric bucket spacing), so estimates move
+      smoothly with [p] instead of jumping per bucket.  Agrees with
+      {!percentile} to within one bucket width by construction.  The
+      open-ended underflow/overflow buckets fall back to the
+      representative edge value.  @raise Invalid_argument under the same
+      conditions as {!percentile}. *)
+  val quantile : t -> float -> float
+
   val copy : t -> t
 end
 
@@ -163,5 +174,6 @@ type snapshot = {
 val snapshot : t -> snapshot
 
 (** Human-readable multi-line report: totals, per-worker counters, and
-    count/mean/p50/p99 for each histogram. *)
+    count/mean plus interpolated p50/p90/p99 ({!Hist.quantile}) for each
+    histogram. *)
 val summary : snapshot -> string

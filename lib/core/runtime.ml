@@ -40,6 +40,46 @@ let now rt = Kernel.now rt.kernel
 
 let costs rt = Kernel.costs rt.kernel
 
+(* Flight-recorder emits.  Call sites guard on [rt.recorder.Recorder.on]
+   (one boolean load when disabled, like the Metrics hooks); [rec_w]
+   writes to the current worker's ring, [rec_g] to the global ring for
+   events that can fire outside any worker context. *)
+let rec_w rt (w : worker) code a b = Recorder.emit rt.recorder w.rank (now rt) code a b
+
+let rec_g rt code a b =
+  Recorder.emit rt.recorder (Recorder.global_ring rt.recorder) (now rt) code a b
+
+(* Kernel events arrive through the engine observer (installed only
+   while the recorder is enabled, so a disabled recorder costs the
+   kernel one option check per site) and land in the global ring. *)
+let kernel_observer rt ts code a b =
+  let code =
+    if code = Kernel.obs_timer_fire then Recorder.ev_timer_fire
+    else if code = Kernel.obs_sig_deliver then Recorder.ev_sig_deliver
+    else if code = Kernel.obs_futex_wait then Recorder.ev_futex_wait
+    else if code = Kernel.obs_futex_wake then Recorder.ev_futex_wake
+    else if code = Kernel.obs_klt_dispatch then Recorder.ev_klt_dispatch
+    else if code = Kernel.obs_klt_block then Recorder.ev_klt_block
+    else 0
+  in
+  if code <> 0 then
+    Recorder.emit rt.recorder (Recorder.global_ring rt.recorder) ts code a b
+
+let recorder rt = rt.recorder
+
+let recorder_enabled rt = Recorder.enabled rt.recorder
+
+let set_recorder_enabled rt b =
+  Recorder.set_enabled rt.recorder b;
+  Engine.set_observer (Kernel.engine rt.kernel)
+    (if b then Some (kernel_observer rt) else None)
+
+let flight_events rt = Recorder.events rt.recorder
+
+let flight_dump rt = Recorder.encode rt.recorder
+
+let save_flight rt ~path = Recorder.save rt.recorder ~path
+
 let worker_of rt klt = Itab.find rt.worker_of_klt (Kernel.klt_id klt)
 
 (* Re-pinning a pooled KLT to a new worker's core costs
@@ -121,6 +161,7 @@ let ready rt (u : ult) =
   | U_blocked ->
       u.ustate <- U_ready;
       if rt.metrics.Metrics.on then u.ready_at <- now rt;
+      if rt.recorder.Recorder.on then rec_g rt Recorder.ev_ready u.uid 0;
       rt.sched.on_ready rt u
   | U_ready | U_running | U_bound | U_finished ->
       invalid_arg (Printf.sprintf "Runtime.ready: %s is not blocked" u.uname)
@@ -129,6 +170,7 @@ let on_finish rt (u : ult) =
   u.ustate <- U_finished;
   u.work <- None;
   u.cur_worker <- None;
+  if rt.recorder.Recorder.on then rec_g rt Recorder.ev_finish u.uid 0;
   rt.unfinished <- rt.unfinished - 1;
   let waiters = u.join_waiters in
   u.join_waiters <- [];
@@ -151,6 +193,7 @@ let signal_yield_preempt rt (w : worker) (u : ult) cont =
     Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
     u.ready_at <- now rt
   end;
+  if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_preempt u.uid 0;
   u.work <- Some cont;
   u.ustate <- U_ready;
   u.cur_worker <- None;
@@ -166,6 +209,7 @@ let klt_switch_preempt rt (w : worker) (u : ult) klt cont_left =
     u.ready_at <- now rt
   end;
   Kernel.consume rt.kernel klt (costs rt).Machine.handler_ctx_switch;
+  if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_preempt u.uid 1;
   u.ustate <- U_bound;
   u.bound_klt <- Some klt;
   u.resume_worker <- None;
@@ -202,6 +246,7 @@ let klt_switch_preempt rt (w : worker) (u : ult) klt cont_left =
   u.ustate <- U_running;
   u.cur_worker <- Some w2;
   w2.current <- Some u;
+  if rt.recorder.Recorder.on then rec_w rt w2 Recorder.ev_resume u.uid 0;
   if rt.metrics.Metrics.on then begin
     if not (Float.is_nan u.ready_at) then
       Metrics.observe_sched_delay rt.metrics (now rt -. u.ready_at);
@@ -253,6 +298,8 @@ let rec do_compute rt (u : ult) k d =
                   (* Hand the worker over before sleeping. *)
                   detach_klt rt klt;
                   attach_klt rt w nklt;
+                  if rt.recorder.Recorder.on then
+                    rec_w rt w Recorder.ev_klt_remap (Kernel.klt_id nklt) 0;
                   send_parked rt ~waker:klt nklt (`Attach w);
                   klt_switch_preempt rt w u klt (fun () -> go left))
         end
@@ -298,6 +345,7 @@ and handler rt (u : ult) : (unit, unit) Effect.Deep.handler =
                   Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
                   u.ready_at <- now rt
                 end;
+                if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_yield u.uid 0;
                 u.work <- Some (fun () -> Effect.Deep.continue k ());
                 u.ustate <- U_ready;
                 u.cur_worker <- None;
@@ -314,6 +362,7 @@ and handler rt (u : ult) : (unit, unit) Effect.Deep.handler =
                 let w = Option.get u.cur_worker in
                 if rt.metrics.Metrics.on then
                   Metrics.observe_run_quantum rt.metrics (now rt -. u.run_started);
+                if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_block u.uid 0;
                 u.work <- Some (fun () -> Effect.Deep.continue k ());
                 u.ustate <- U_blocked;
                 u.cur_worker <- None;
@@ -425,9 +474,13 @@ and run_entry rt (w : worker) klt (u : ult) =
         u.ult_cpu_since_move <- 0.0
       end;
       u.last_worker <- w.rank;
+      if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_run u.uid 0;
       if w.measure_preempt then begin
         Stats.add rt.preempt_latency_stats (now rt -. w.preempt_post_time);
         Metrics.observe_sig_to_switch rt.metrics (now rt -. w.preempt_post_time);
+        if rt.recorder.Recorder.on then
+          rec_w rt w Recorder.ev_preempt_done u.uid
+            (int_of_float ((now rt -. w.preempt_post_time) *. 1e9));
         w.measure_preempt <- false
       end;
       if rt.metrics.Metrics.on then begin
@@ -460,6 +513,9 @@ and resume_bound rt (w : worker) klt (u : ult) =
   if w.measure_preempt then begin
     Stats.add rt.preempt_latency_stats (now rt -. w.preempt_post_time);
     Metrics.observe_sig_to_switch rt.metrics (now rt -. w.preempt_post_time);
+    if rt.recorder.Recorder.on then
+      rec_w rt w Recorder.ev_preempt_done u.uid
+        (int_of_float ((now rt -. w.preempt_post_time) *. 1e9));
     w.measure_preempt <- false
   end;
   detach_klt rt klt;
@@ -481,6 +537,7 @@ let maybe_request_preempt rt (w : worker) posted =
       w.preempt_post_time <- posted;
       w.measure_preempt <- true;
       rt.preempt_signals <- rt.preempt_signals + 1;
+      if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_preempt_req u.uid 0;
       Metrics.incr_preempts rt.metrics w.rank
   | _ -> ()
 
@@ -488,6 +545,7 @@ let post_forward rt ~sender (w : worker) =
   match w.wklt with
   | Some klt ->
       Itab.Float.set rt.signal_posted (Kernel.klt_id klt) (now rt);
+      if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_sig_post w.rank 1;
       Kernel.pthread_kill rt.kernel ~sender klt sig_forward
   | None -> ()
 
@@ -620,7 +678,15 @@ let create ?(config = Config.default) ?scheduler kernel ~n_workers =
       (let m = Metrics.create ~n_workers in
        Metrics.set_enabled m config.Config.metrics_enabled;
        m);
+    recorder = Recorder.create ~n_workers ~capacity:config.Config.recorder_capacity;
   }
+
+let create ?config ?scheduler kernel ~n_workers =
+  let rt = create ?config ?scheduler kernel ~n_workers in
+  (* Installing the engine observer only while recording keeps the
+     kernel's disabled path at one option check per emit site. *)
+  if rt.cfg.Config.recorder_enabled then set_recorder_enabled rt true;
+  rt
 
 let spawn rt ?(kind = Nonpreemptive) ?(priority = 0) ?(footprint = 1.0) ?home ?name body =
   let uid = rt.next_uid in
@@ -653,6 +719,7 @@ let spawn rt ?(kind = Nonpreemptive) ?(priority = 0) ?(footprint = 1.0) ?home ?n
   u.work <- Some (fun () -> Effect.Deep.match_with body () (handler rt u));
   rt.unfinished <- rt.unfinished + 1;
   if rt.metrics.Metrics.on then u.ready_at <- now rt;
+  if rt.recorder.Recorder.on then rec_g rt Recorder.ev_spawn u.uid 0;
   rt.sched.on_ready rt u;
   u
 
@@ -665,6 +732,7 @@ let install_timers rt =
       | Some klt ->
           Itab.Float.set rt.signal_posted (Kernel.klt_id klt) (now rt);
           Metrics.incr_timer_fires rt.metrics w.rank;
+          if rt.recorder.Recorder.on then rec_w rt w Recorder.ev_sig_post w.rank 0;
           Some klt
       | None -> None
   in

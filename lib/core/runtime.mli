@@ -128,3 +128,28 @@ val metrics_enabled : t -> bool
     across toggles; use {!Metrics.reset} semantics by taking snapshots
     and differencing instead). *)
 val set_metrics_enabled : t -> bool -> unit
+
+(** {1 Flight recorder (see [docs/observability.md])} *)
+
+(** The runtime's {!Recorder}: per-worker ring buffers of timestamped
+    lifecycle, preemption and kernel events.  Recording is off unless
+    [Config.recorder_enabled] was set or {!set_recorder_enabled} was
+    called; a disabled recorder costs one boolean load per hook. *)
+val recorder : t -> Recorder.t
+
+val recorder_enabled : t -> bool
+
+(** Toggle event recording.  Enabling also installs the engine observer
+    that forwards kernel events (timer fires, signal deliveries, futex
+    sleeps/wakes, KLT dispatches) into the global ring; disabling
+    removes it, restoring the kernel's zero-overhead path. *)
+val set_recorder_enabled : t -> bool -> unit
+
+(** All retained events, merged across rings in timestamp order. *)
+val flight_events : t -> Recorder.event array
+
+(** The binary flight-record dump ({!Recorder.encode}); decode with
+    {!Recorder.decode} / [repro observe --load]. *)
+val flight_dump : t -> string
+
+val save_flight : t -> path:string -> unit

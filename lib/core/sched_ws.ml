@@ -50,7 +50,12 @@ let next rt (w : worker) =
   | None ->
       let stolen = steal rt w in
       (match stolen with
-      | Some _ -> Metrics.incr_steals rt.metrics w.rank
+      | Some u ->
+          Metrics.incr_steals rt.metrics w.rank;
+          if rt.recorder.Recorder.on then
+            Recorder.emit rt.recorder w.rank
+              (Oskern.Kernel.now rt.kernel)
+              Recorder.ev_steal u.uid u.home
       | None -> ());
       stolen
 

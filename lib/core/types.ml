@@ -102,6 +102,7 @@ and rt = {
   mutable preempt_signals : int;
   mutable klt_switches : int;
   metrics : Metrics.t;  (* per-worker counters + latency histograms *)
+  recorder : Recorder.t;  (* flight recorder: per-worker event rings *)
 }
 
 let sig_timer = 34 (* leader timer signal (SIGRTMIN) *)

@@ -3,15 +3,26 @@ open Types
 (* Every primitive here reports to the metrics layer (when enabled):
    a thread that blocks bumps [sync_blocks], a thread that is readied
    by a release/handoff/broadcast bumps [sync_wakeups].  Lost-wakeup
-   bugs show up as blocks > wakeups + threads-still-blocked. *)
+   bugs show up as blocks > wakeups + threads-still-blocked.  The same
+   sites feed the flight recorder (sync-block / sync-wake events on the
+   global ring), so a decoded flight record shows who was parked on a
+   primitive and who released them. *)
+
+let obs rt code (u : ult) =
+  if rt.recorder.Recorder.on then
+    Recorder.emit rt.recorder
+      (Recorder.global_ring rt.recorder)
+      (Oskern.Kernel.now rt.kernel) code u.uid 0
 
 let join rt (u : ult) =
   if u.ustate <> U_finished then
     Ult.suspend (fun self ->
         Metrics.incr_sync_blocks rt.metrics;
+        obs rt Recorder.ev_sync_block self;
         u.join_waiters <-
           (fun () ->
             Metrics.incr_sync_wakeups rt.metrics;
+            obs rt Recorder.ev_sync_wake self;
             Runtime.ready rt self)
           :: u.join_waiters)
 
@@ -25,6 +36,7 @@ module Mutex = struct
     else
       Ult.suspend (fun self ->
           Metrics.incr_sync_blocks m.rt.metrics;
+          obs m.rt Recorder.ev_sync_block self;
           Queue.add self m.waiters)
 
   let try_lock m =
@@ -39,6 +51,7 @@ module Mutex = struct
     match Queue.take_opt m.waiters with
     | Some next ->
         Metrics.incr_sync_wakeups m.rt.metrics;
+        obs m.rt Recorder.ev_sync_wake next;
         Runtime.ready m.rt next (* ownership handed over *)
     | None -> m.held <- false
 
@@ -66,12 +79,14 @@ module Barrier = struct
       List.iter
         (fun u ->
           Metrics.incr_sync_wakeups b.rt.metrics;
+          obs b.rt Recorder.ev_sync_wake u;
           Runtime.ready b.rt u)
         (List.rev blocked)
     end
     else
       Ult.suspend (fun self ->
           Metrics.incr_sync_blocks b.rt.metrics;
+          obs b.rt Recorder.ev_sync_block self;
           b.blocked <- self :: b.blocked)
 
   let waiting b = List.length b.blocked
@@ -92,6 +107,7 @@ module Ivar = struct
         List.iter
           (fun u ->
             Metrics.incr_sync_wakeups t.rt.metrics;
+            obs t.rt Recorder.ev_sync_wake u;
             Runtime.ready t.rt u)
           (List.rev readers)
 
@@ -101,6 +117,7 @@ module Ivar = struct
     | None ->
         Ult.suspend (fun self ->
             Metrics.incr_sync_blocks t.rt.metrics;
+            obs t.rt Recorder.ev_sync_block self;
             t.readers <- self :: t.readers);
         read t
 
@@ -119,6 +136,7 @@ module Channel = struct
     | u :: rest ->
         t.readers <- rest;
         Metrics.incr_sync_wakeups t.rt.metrics;
+        obs t.rt Recorder.ev_sync_wake u;
         Runtime.ready t.rt u
 
   let rec recv t =
@@ -127,6 +145,7 @@ module Channel = struct
     | None ->
         Ult.suspend (fun self ->
             Metrics.incr_sync_blocks t.rt.metrics;
+            obs t.rt Recorder.ev_sync_block self;
             t.readers <- t.readers @ [ self ])
         ;
         recv t

@@ -10,6 +10,11 @@ type t = {
   mutable controller : Choice.t option;
       (* schedule controller: decides tie-breaks among equal-timestamp
          events; [None] = historical FIFO order, zero overhead *)
+  mutable observer : (float -> int -> int -> int -> unit) option;
+      (* flight-recorder hook: layers above desim (the kernel) report
+         int-coded events [(ts, code, a, b)] through it without
+         depending on the recorder's module; [None] = one option check
+         per emit site, nothing recorded *)
 }
 
 type event = Heap.handle
@@ -27,11 +32,16 @@ let create ?(seed = 42) () =
     next_pid = 0;
     quiescence = (fun () -> None);
     controller = None;
+    observer = None;
   }
 
 let set_controller t c = t.controller <- c
 
 let controller t = t.controller
+
+let set_observer t f = t.observer <- f
+
+let observer t = t.observer
 
 let now t = t.clock
 

@@ -38,6 +38,16 @@ val set_controller : t -> Choice.t option -> unit
 (** The installed schedule controller, if any. *)
 val controller : t -> Choice.t option
 
+(** [set_observer t f] installs (or removes) an event observer: a hook
+    through which layers built on the engine (the simulated kernel)
+    report int-coded events [f ts code a b] to a flight recorder owned
+    by a layer they cannot depend on (the runtime).  [None] (the
+    default) reduces every emit site to a single option check. *)
+val set_observer : t -> (float -> int -> int -> int -> unit) option -> unit
+
+(** The installed event observer, if any. *)
+val observer : t -> (float -> int -> int -> int -> unit) option
+
 (** [after t dt f] schedules callback [f] to run [dt >= 0] seconds from
     now.  Callbacks run outside any process context. *)
 val after : t -> float -> (unit -> unit) -> event

@@ -138,6 +138,106 @@ let of_trace ~cores ?metrics ?t_end trace =
   List.rev !events
 
 (* ------------------------------------------------------------------ *)
+(* Building events from a flight record: one lane per ULT showing its
+   reconstructed lifecycle phases as complete events, plus an instant
+   lane for the preemption machinery (timer fires, signal posts,
+   preemption requests/completions, steals). *)
+
+let flight_pid = 2
+
+let of_flight (evs : Preempt_core.Recorder.event array) =
+  let open Preempt_core in
+  let t_end = Array.fold_left (fun acc e -> Float.max acc e.Recorder.e_ts) 0.0 evs in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let lcs = Recorder.lifecycles evs in
+  let max_uid = List.fold_left (fun acc lc -> max acc lc.Recorder.lc_uid) (-1) lcs in
+  let instant_tid = max_uid + 1 in
+  List.iter
+    (fun (lc : Recorder.lifecycle) ->
+      List.iter
+        (fun (sp : Recorder.span) ->
+          let t1 = if Float.is_nan sp.Recorder.s_to then t_end else sp.Recorder.s_to in
+          if sp.Recorder.s_phase <> Recorder.P_finished && t1 >= sp.Recorder.s_from then
+            push
+              {
+                name = Recorder.phase_name sp.Recorder.s_phase;
+                cat = "ult";
+                ph = "X";
+                ts = us sp.Recorder.s_from;
+                dur = Some (us (t1 -. sp.Recorder.s_from));
+                pid = flight_pid;
+                tid = lc.Recorder.lc_uid;
+                args = [];
+              })
+        lc.Recorder.lc_spans)
+    lcs;
+  Array.iter
+    (fun (e : Recorder.event) ->
+      let c = e.Recorder.e_code in
+      if
+        c = Recorder.ev_sig_post || c = Recorder.ev_preempt_req
+        || c = Recorder.ev_preempt_done || c = Recorder.ev_timer_fire
+        || c = Recorder.ev_steal || c = Recorder.ev_klt_remap
+      then
+        push
+          {
+            name = Recorder.code_name c;
+            cat = "flight";
+            ph = "i";
+            ts = us e.Recorder.e_ts;
+            dur = None;
+            pid = flight_pid;
+            tid = instant_tid;
+            args =
+              [
+                ("ring", A_num (float_of_int e.Recorder.e_ring));
+                ("a", A_num (float_of_int e.Recorder.e_a));
+                ("b", A_num (float_of_int e.Recorder.e_b));
+              ];
+          })
+    evs;
+  if !events <> [] then begin
+    push
+      {
+        name = "process_name";
+        cat = "__metadata";
+        ph = "M";
+        ts = 0.0;
+        dur = None;
+        pid = flight_pid;
+        tid = 0;
+        args = [ ("name", A_str "flight-recorder") ];
+      };
+    List.iter
+      (fun (lc : Recorder.lifecycle) ->
+        push
+          {
+            name = "thread_name";
+            cat = "__metadata";
+            ph = "M";
+            ts = 0.0;
+            dur = None;
+            pid = flight_pid;
+            tid = lc.Recorder.lc_uid;
+            args = [ ("name", A_str (Printf.sprintf "ult%d" lc.Recorder.lc_uid)) ];
+          })
+      lcs;
+    push
+      {
+        name = "thread_name";
+        cat = "__metadata";
+        ph = "M";
+        ts = 0.0;
+        dur = None;
+        pid = flight_pid;
+        tid = instant_tid;
+        args = [ ("name", A_str "preemption events") ];
+      }
+  end;
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
 (* Serialization. *)
 
 let escape buf s =

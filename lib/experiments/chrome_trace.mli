@@ -42,6 +42,16 @@ val of_trace :
   Desim.Trace.t ->
   event list
 
+(** [of_flight evs] renders a decoded flight record
+    ({!Preempt_core.Recorder.events} or a loaded dump) as one lane per
+    ULT — its reconstructed lifecycle phases (ready / running / bound /
+    blocked) as complete events — plus an instant lane for the
+    preemption machinery (timer fires, signal posts, preemption
+    requests/completions, steals, KLT remaps).  Uses [pid = 2], so the
+    result can be appended to an {!of_trace} list (which uses [pid = 1])
+    and viewed in one Perfetto session. *)
+val of_flight : Preempt_core.Recorder.event array -> event list
+
 (** Serialize to the Chrome JSON Object Format. *)
 val to_json : event list -> string
 

@@ -1,0 +1,337 @@
+(* [repro observe] — run a small preemption-heavy workload with the
+   flight recorder on, reconstruct what happened from the event rings
+   alone, and cross-check the reconstruction against the live metrics.
+
+   The workload mirrors examples/preemption_timeline.ml: one core, one
+   worker, two KLT-switching compute threads sharing it under a 2 ms
+   aligned preemption timer — every timer fire forces a measurable
+   preemption, so the attribution chains exercise all three stages.
+
+   The same report also renders a loaded binary dump ([--load]), in
+   which case no live metrics exist and the consistency check is
+   skipped. *)
+
+open Oskern
+open Preempt_core
+
+let interval = 2e-3
+
+let n_workers = 1
+
+let n_ults = 2
+
+let run_workload () =
+  let eng = Desim.Engine.create () in
+  let machine = Machine.with_cores Machine.skylake 1 in
+  let kernel = Kernel.create eng machine in
+  let config =
+    Config.make ~timer_strategy:Config.Per_worker_aligned ~interval
+      ~metrics_enabled:true ~recorder_enabled:true ()
+  in
+  let rt = Runtime.create ~config kernel ~n_workers in
+  let uids =
+    List.init n_ults (fun i ->
+        let u =
+          Runtime.spawn rt ~kind:Types.Klt_switching ~home:0
+            ~name:(Printf.sprintf "thread%d" i) (fun () -> Ult.compute 0.012)
+        in
+        u.Types.uid)
+  in
+  Runtime.start rt;
+  Desim.Engine.run eng;
+  (rt, uids)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Attribution chains grouped by preempted thread: count and per-stage
+   means, in seconds. *)
+type row = {
+  rw_uid : int;
+  rw_n : int;
+  rw_fire_to_handler : float;
+  rw_handler_to_switch : float;
+  rw_switch_to_run : float;
+  rw_total : float;
+}
+
+type consistency = {
+  cs_chains : int;  (** completed attribution chains *)
+  cs_samples : int;  (** samples in the sig_to_switch histogram *)
+  cs_chain_p50 : float;  (** interpolated p50 of the chain totals *)
+  cs_hist_p50 : float;  (** interpolated p50 of sig_to_switch *)
+  cs_bucket_distance : int;
+      (** |bucket(chain p50) - bucket(hist p50)|; the acceptance bound
+          is <= 1 *)
+}
+
+type report = {
+  r_events : Recorder.event array;
+  r_emitted : int;
+  r_rings : int;
+  r_capacity : int;
+  r_lifecycles : Recorder.lifecycle list;
+  r_chains : Recorder.chain list;
+  r_rows : row list;  (** chains grouped by preempted uid *)
+  r_anomalies : Recorder.anomaly list;
+  r_consistency : consistency option;  (** [None] without live metrics *)
+}
+
+let rows_of_chains chains =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Recorder.chain) ->
+      let n, f, h, s, t =
+        Option.value (Hashtbl.find_opt tbl c.Recorder.at_uid)
+          ~default:(0, 0., 0., 0., 0.)
+      in
+      Hashtbl.replace tbl c.Recorder.at_uid
+        ( n + 1,
+          f +. c.Recorder.at_fire_to_handler,
+          h +. c.Recorder.at_handler_to_switch,
+          s +. c.Recorder.at_switch_to_run,
+          t +. Recorder.chain_total c ))
+    chains;
+  Hashtbl.fold
+    (fun uid (n, f, h, s, t) acc ->
+      let m x = x /. float_of_int n in
+      {
+        rw_uid = uid;
+        rw_n = n;
+        rw_fire_to_handler = m f;
+        rw_handler_to_switch = m h;
+        rw_switch_to_run = m s;
+        rw_total = m t;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.rw_uid b.rw_uid)
+
+let consistency_of chains (m : Metrics.snapshot) =
+  let samples = Metrics.Hist.count m.Metrics.s_sig_to_switch in
+  if chains = [] || samples = 0 then None
+  else begin
+    let ch = Metrics.Hist.create () in
+    List.iter (fun c -> Metrics.Hist.add ch (Recorder.chain_total c)) chains;
+    let chain_p50 = Metrics.Hist.quantile ch 50. in
+    let hist_p50 = Metrics.Hist.quantile m.Metrics.s_sig_to_switch 50. in
+    Some
+      {
+        cs_chains = List.length chains;
+        cs_samples = samples;
+        cs_chain_p50 = chain_p50;
+        cs_hist_p50 = hist_p50;
+        cs_bucket_distance =
+          abs
+            (Metrics.Hist.bucket_of chain_p50
+            - Metrics.Hist.bucket_of hist_p50);
+      }
+  end
+
+let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
+  let chains, never = Recorder.attribute ~n_workers events in
+  let timing = Recorder.detect_anomalies ~n_workers ~interval events in
+  {
+    r_events = events;
+    r_emitted = emitted;
+    r_rings = rings;
+    r_capacity = capacity;
+    r_lifecycles = Recorder.lifecycles events;
+    r_chains = chains;
+    r_rows = rows_of_chains chains;
+    r_anomalies = never @ timing;
+    r_consistency = Option.bind metrics (consistency_of chains);
+  }
+
+let of_runtime rt =
+  let rec_ = Runtime.recorder rt in
+  analyze
+    ~metrics:(Runtime.metrics rt)
+    ~n_workers ~rings:(Recorder.n_rings rec_)
+    ~capacity:(Recorder.capacity rec_)
+    ~emitted:(Recorder.total_emitted rec_)
+    (Runtime.flight_events rt)
+
+let of_dump (d : Recorder.dump) =
+  analyze
+    ~n_workers:(d.Recorder.d_n_rings - 1)
+    ~rings:d.Recorder.d_n_rings ~capacity:d.Recorder.d_capacity
+    ~emitted:(Array.length d.Recorder.d_events)
+    d.Recorder.d_events
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ms v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" (v *. 1e3)
+
+let us v = v *. 1e6
+
+let print_text r =
+  Printf.printf "flight record: %d event(s) retained (%d rings x %d), %d emitted\n\n"
+    (Array.length r.r_events) r.r_rings r.r_capacity r.r_emitted;
+  Printf.printf "per-ULT lifecycles\n";
+  Printf.printf "  %4s %10s %11s %5s %9s %7s %7s %7s %9s\n" "uid" "spawn ms"
+    "finish ms" "runs" "preempts" "yields" "blocks" "steals" "run ms";
+  List.iter
+    (fun (lc : Recorder.lifecycle) ->
+      Printf.printf "  %4d %10s %11s %5d %9d %7d %7d %7d %9s\n"
+        lc.Recorder.lc_uid (ms lc.Recorder.lc_spawned)
+        (ms lc.Recorder.lc_finished) lc.Recorder.lc_runs
+        lc.Recorder.lc_preempts lc.Recorder.lc_yields lc.Recorder.lc_blocks
+        lc.Recorder.lc_steals (ms lc.Recorder.lc_run_time))
+    r.r_lifecycles;
+  Printf.printf "\npreemption-latency attribution (mean us per stage)\n";
+  if r.r_rows = [] then Printf.printf "  no completed preemption chains\n"
+  else begin
+    Printf.printf "  %4s %4s %14s %16s %13s %9s\n" "uid" "n" "fire->handler"
+      "handler->switch" "switch->run" "total";
+    List.iter
+      (fun rw ->
+        Printf.printf "  %4d %4d %14.2f %16.2f %13.2f %9.2f\n" rw.rw_uid
+          rw.rw_n
+          (us rw.rw_fire_to_handler)
+          (us rw.rw_handler_to_switch)
+          (us rw.rw_switch_to_run) (us rw.rw_total))
+      r.r_rows
+  end;
+  (match r.r_consistency with
+  | None -> ()
+  | Some c ->
+      Printf.printf
+        "\nconsistency: %d chain(s) vs %d histogram sample(s); stage-sum p50 \
+         = %.2f us, sig_to_switch p50 = %.2f us (%s)\n"
+        c.cs_chains c.cs_samples (us c.cs_chain_p50) (us c.cs_hist_p50)
+        (match c.cs_bucket_distance with
+        | 0 -> "same bucket"
+        | 1 -> "adjacent buckets"
+        | d -> Printf.sprintf "%d buckets apart" d));
+  Printf.printf "\nanomalies: %s\n"
+    (if r.r_anomalies = [] then "none"
+     else
+       String.concat "\n  "
+         ("" :: List.map Recorder.anomaly_to_string r.r_anomalies))
+
+(* Minimal JSON emission; NaN (open spans, lost spawns) maps to null. *)
+let jf v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  let lc_json (lc : Recorder.lifecycle) =
+    Printf.sprintf
+      "{\"uid\":%d,\"spawned\":%s,\"finished\":%s,\"runs\":%d,\"preempts\":%d,\"yields\":%d,\"blocks\":%d,\"steals\":%d,\"run_time\":%s}"
+      lc.Recorder.lc_uid (jf lc.Recorder.lc_spawned)
+      (jf lc.Recorder.lc_finished) lc.Recorder.lc_runs lc.Recorder.lc_preempts
+      lc.Recorder.lc_yields lc.Recorder.lc_blocks lc.Recorder.lc_steals
+      (jf lc.Recorder.lc_run_time)
+  in
+  let chain_json (c : Recorder.chain) =
+    Printf.sprintf
+      "{\"worker\":%d,\"uid\":%d,\"next_uid\":%d,\"mode\":%d,\"t0\":%s,\"fire_to_handler\":%s,\"handler_to_switch\":%s,\"switch_to_run\":%s,\"total\":%s}"
+      c.Recorder.at_worker c.Recorder.at_uid c.Recorder.at_next_uid
+      c.Recorder.at_mode (jf c.Recorder.at_t0)
+      (jf c.Recorder.at_fire_to_handler)
+      (jf c.Recorder.at_handler_to_switch)
+      (jf c.Recorder.at_switch_to_run)
+      (jf (Recorder.chain_total c))
+  in
+  Buffer.add_string b "{";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"events\":%d,\"rings\":%d,\"capacity\":%d,\"emitted\":%d,"
+       (Array.length r.r_events) r.r_rings r.r_capacity r.r_emitted);
+  Buffer.add_string b "\"lifecycles\":[";
+  Buffer.add_string b
+    (String.concat "," (List.map lc_json r.r_lifecycles));
+  Buffer.add_string b "],\"chains\":[";
+  Buffer.add_string b (String.concat "," (List.map chain_json r.r_chains));
+  Buffer.add_string b "],\"anomalies\":[";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun a -> jstr (Recorder.anomaly_to_string a))
+          r.r_anomalies));
+  Buffer.add_string b "]";
+  (match r.r_consistency with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"consistency\":{\"chains\":%d,\"samples\":%d,\"chain_p50\":%s,\"hist_p50\":%s,\"bucket_distance\":%d}"
+           c.cs_chains c.cs_samples (jf c.cs_chain_p50) (jf c.cs_hist_p50)
+           c.cs_bucket_distance));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Smoke checks ([repro observe --smoke], wired into @obs-smoke)       *)
+(* ------------------------------------------------------------------ *)
+
+let smoke ~spawned r =
+  let check cond fmt =
+    Printf.ksprintf (fun msg -> if cond then Ok () else Error msg) fmt
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    check (Array.length r.r_events > 0) "no events retained in the ring"
+  in
+  let* () =
+    List.fold_left
+      (fun acc uid ->
+        let* () = acc in
+        match
+          List.find_opt
+            (fun lc -> lc.Recorder.lc_uid = uid)
+            r.r_lifecycles
+        with
+        | None -> Error (Printf.sprintf "ULT %d has no lifecycle" uid)
+        | Some lc ->
+            check
+              (lc.Recorder.lc_runs > 0 && lc.Recorder.lc_spans <> [])
+              "ULT %d lifecycle is empty (%d runs, %d spans)" uid
+              lc.Recorder.lc_runs
+              (List.length lc.Recorder.lc_spans))
+      (Ok ()) spawned
+  in
+  let* () =
+    check (r.r_chains <> []) "no completed preemption-attribution chains"
+  in
+  let* () =
+    match r.r_consistency with
+    | None -> Error "no live metrics to cross-check against"
+    | Some c ->
+        let* () =
+          check (c.cs_chains = c.cs_samples)
+            "chain count %d <> sig_to_switch sample count %d" c.cs_chains
+            c.cs_samples
+        in
+        check
+          (c.cs_bucket_distance <= 1)
+          "stage-sum p50 %.3g and histogram p50 %.3g are %d buckets apart"
+          c.cs_chain_p50 c.cs_hist_p50 c.cs_bucket_distance
+  in
+  let json = Chrome_trace.to_json (Chrome_trace.of_flight r.r_events) in
+  match Chrome_trace.validate json with
+  | Ok n -> check (n > 0) "flight-record Chrome trace is empty"
+  | Error e -> Error (Printf.sprintf "flight-record Chrome trace invalid: %s" e)

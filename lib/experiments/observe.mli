@@ -1,0 +1,67 @@
+(** [repro observe] — flight-recorder demonstration and report.
+
+    Runs a small preemption-heavy workload (two KLT-switching compute
+    threads sharing one worker under a 2 ms aligned timer, mirroring
+    [examples/preemption_timeline.ml]) with the {!Preempt_core.Recorder}
+    enabled, then reconstructs ULT lifecycles, attributes preemption
+    latency to its stages, scans for anomalies, and cross-checks the
+    ring-derived stage sums against the live [sig_to_switch] histogram.
+    The same report renders a loaded binary dump ([--load]), minus the
+    metrics cross-check.  See docs/observability.md. *)
+
+val interval : float
+(** Preemption interval of the demo workload (2 ms). *)
+
+val run_workload : unit -> Preempt_core.Runtime.t * int list
+(** Build and run the demo workload to completion; returns the runtime
+    (recorder and metrics populated) and the spawned uids. *)
+
+(** Attribution chains grouped by preempted thread; durations are mean
+    seconds per stage. *)
+type row = {
+  rw_uid : int;
+  rw_n : int;
+  rw_fire_to_handler : float;
+  rw_handler_to_switch : float;
+  rw_switch_to_run : float;
+  rw_total : float;
+}
+
+type consistency = {
+  cs_chains : int;  (** completed attribution chains *)
+  cs_samples : int;  (** samples in the sig_to_switch histogram *)
+  cs_chain_p50 : float;  (** interpolated p50 of the chain totals *)
+  cs_hist_p50 : float;  (** interpolated p50 of sig_to_switch *)
+  cs_bucket_distance : int;
+      (** |bucket(chain p50) - bucket(hist p50)|; acceptance bound 1 *)
+}
+
+type report = {
+  r_events : Preempt_core.Recorder.event array;
+  r_emitted : int;  (** events emitted over the recorder's lifetime *)
+  r_rings : int;
+  r_capacity : int;
+  r_lifecycles : Preempt_core.Recorder.lifecycle list;
+  r_chains : Preempt_core.Recorder.chain list;
+  r_rows : row list;  (** chains grouped by preempted uid *)
+  r_anomalies : Preempt_core.Recorder.anomaly list;
+  r_consistency : consistency option;  (** [None] without live metrics *)
+}
+
+val of_runtime : Preempt_core.Runtime.t -> report
+(** Analyze a runtime's current flight record against its metrics. *)
+
+val of_dump : Preempt_core.Recorder.dump -> report
+(** Analyze a decoded binary dump (no metrics cross-check). *)
+
+val print_text : report -> unit
+(** Human-readable tables on stdout. *)
+
+val to_json : report -> string
+
+val smoke : spawned:int list -> report -> (unit, string) result
+(** The [@obs-smoke] assertions: every spawned ULT has a non-empty
+    reconstructed lifecycle, at least one attribution chain completed,
+    chain count matches the histogram sample count with p50s within one
+    bucket, and {!Chrome_trace.of_flight} output passes
+    {!Chrome_trace.validate}. *)

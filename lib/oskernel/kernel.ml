@@ -67,6 +67,28 @@ let total_migrations t = List.fold_left (fun acc k -> acc + k.migrations) 0 t.al
 
 let emit t tag detail = Trace.emit t.tr (now t) tag detail
 
+(* Flight-recorder hook: kernel-level events are reported through the
+   engine's observer as int-coded records, so the runtime's recorder
+   (a layer the kernel cannot depend on) can fold them into its rings.
+   With no observer installed each site costs one option check. *)
+
+let obs_timer_fire = 1 (* a = target klt id (-1 skipped), b = fire count *)
+
+let obs_sig_deliver = 2 (* a = klt id, b = signo *)
+
+let obs_futex_wait = 3 (* a = klt id *)
+
+let obs_futex_wake = 4 (* a = woken, b = requested *)
+
+let obs_klt_dispatch = 5 (* a = klt id, b = core *)
+
+let obs_klt_block = 6 (* a = klt id *)
+
+let obs t code a b =
+  match Engine.observer t.eng with
+  | None -> ()
+  | Some f -> f (Engine.now t.eng) code a b
+
 (* ------------------------------------------------------------------ *)
 (* Runqueue management.  Queues are small (tens of entries), so sorted
    lists keep the code obvious. *)
@@ -216,6 +238,7 @@ and dispatch t core =
           core.last_klt <- klt.kid;
           set_slice t core;
           emit t "dispatch" (Printf.sprintf "%s on core%d" klt.kname core.cid);
+          obs t obs_klt_dispatch klt.kid core.cid;
           (match klt.on_dispatch with
           | Some resume ->
               klt.on_dispatch <- None;
@@ -401,6 +424,7 @@ let rec process_signals t klt =
       charge_running t klt t.c.signal_handler_entry;
       t.delivered <- t.delivered + 1;
       emit t "signal" (Printf.sprintf "%s <- sig%d" klt.kname signo);
+      obs t obs_sig_deliver klt.kid signo;
       sigblock t klt signo;
       (match Hashtbl.find_opt t.handlers signo with
       | Some h -> h t klt
@@ -512,6 +536,7 @@ let suspend (type a) t klt ~reason ~interruptible (setup : (a -> unit) -> unit) 
     `Eintr
   end
   else begin
+    obs t obs_klt_block klt.kid 0;
     release_core t klt ~reason:(`Blocked reason);
   let r =
     Engine.block (fun resume ->
@@ -768,6 +793,7 @@ module Futex = struct
              this. *)
           `Ok
       | _ -> (
+          obs k obs_futex_wait klt.kid 0;
           match
             suspend k klt ~reason:"futex" ~interruptible:false (fun deliver ->
                 f.fwaiters <- f.fwaiters @ [ { alive = true; deliver = (fun () -> deliver ()) } ])
@@ -793,6 +819,7 @@ module Futex = struct
             pop ()
     in
     pop ();
+    if !woken > 0 then obs k obs_futex_wake !woken n;
     !woken
 end
 
@@ -814,9 +841,10 @@ module Timer = struct
     tm.count <- tm.count + 1;
     match tm.target () with
     | Some klt ->
+        obs tm.k obs_timer_fire klt.kid tm.count;
         klt.pending_overhead <- klt.pending_overhead +. tm.k.c.timer_fire;
         kill tm.k klt tm.signo
-    | None -> ()
+    | None -> obs tm.k obs_timer_fire (-1) tm.count
 
   let create k ?first ~interval ~signo ~target () =
     if interval <= 0.0 then invalid_arg "Kernel.Timer.create: interval <= 0";

@@ -212,6 +212,35 @@ module Timer : sig
   val fires : t -> int
 end
 
+(** {1 Observer event codes}
+
+    The kernel reports low-level events — timer expiries, signal
+    deliveries, futex sleeps/wakes, KLT dispatches and blocks — through
+    the engine's observer hook ({!Desim.Engine.set_observer}) as
+    [(ts, code, a, b)] records, using the codes below.  The runtime's
+    flight recorder installs the observer and folds these into its event
+    rings; with no observer installed each site costs one option
+    check. *)
+
+(** Timer expiry evaluated: [a] = target klt id ([-1] when the expiry
+    was skipped), [b] = cumulative fire count of that timer. *)
+val obs_timer_fire : int
+
+(** Signal handler about to run: [a] = klt id, [b] = signo. *)
+val obs_sig_deliver : int
+
+(** KLT goes to sleep on a futex: [a] = klt id. *)
+val obs_futex_wait : int
+
+(** Futex wake delivered: [a] = waiters woken, [b] = requested. *)
+val obs_futex_wake : int
+
+(** Scheduler placed a KLT on a core: [a] = klt id, [b] = core. *)
+val obs_klt_dispatch : int
+
+(** KLT blocks (releases its core): [a] = klt id. *)
+val obs_klt_block : int
+
 (** {1 Metrics} *)
 
 (** Sum of per-core busy time. *)

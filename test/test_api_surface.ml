@@ -136,6 +136,7 @@ let test_config_errors_uniform_shape () =
       ( "local_pool_capacity",
         fun () -> ignore (Config.make ~local_pool_capacity:(-7) ()) );
       ("idle_poll", fun () -> ignore (Config.make ~idle_poll:(-1e-6) ()));
+      ("recorder_capacity", fun () -> ignore (Config.make ~recorder_capacity:0 ()));
     ]
 
 let test_config_make_defaults () =
@@ -145,15 +146,12 @@ let test_config_make_defaults () =
   Alcotest.(check bool) "suspend_mode set" true (c.Config.suspend_mode = Config.Sigsuspend)
 
 let test_config_metrics_alias () =
-  (* Canonical name. *)
+  (* Canonical name; the deprecated [enable_metrics] alias is gone
+     (docs/INTERNALS.md) — this pins the rename's end state. *)
   let c = Config.make ~metrics_enabled:true () in
   Alcotest.(check bool) "metrics_enabled" true c.Config.metrics_enabled;
-  (* Deprecated alias still honored for one release. *)
-  let c = Config.make ~enable_metrics:true () in
-  Alcotest.(check bool) "enable_metrics alias" true c.Config.metrics_enabled;
-  (* Canonical wins when both are given. *)
-  let c = Config.make ~enable_metrics:true ~metrics_enabled:false () in
-  Alcotest.(check bool) "canonical wins" false c.Config.metrics_enabled
+  let c = Config.make () in
+  Alcotest.(check bool) "off by default" false c.Config.metrics_enabled
 
 (* Runtime.create routes any config — including hand-built records —
    through Config.validate. *)

@@ -1,0 +1,192 @@
+(* Flight recorder (Preempt_core.Recorder): ring wraparound as a QCheck
+   property against a reference model, binary-dump round-trips,
+   lifecycle reconstruction on a hand-built stream, attribution
+   exactness against the live sig_to_switch histogram, and the
+   check-integration path (a counterexample's flight dump decodes). *)
+
+open Preempt_core
+
+(* ------------------------------------------------------------------ *)
+(* Wraparound property: after any emission sequence, every ring holds
+   exactly the last [capacity] events emitted to it, oldest first, with
+   monotone emission indices — and the binary dump round-trips the
+   whole decoded state.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ops_arb =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple (int_range 1 40) (int_range 1 3)
+        (list_size (int_range 0 300)
+           (triple (int_range 0 100) (int_range 1 21) (int_range 0 1000))))
+  in
+  let print (cap, nw, ops) =
+    Printf.sprintf "capacity=%d n_workers=%d ops=%d" cap nw (List.length ops)
+  in
+  make ~print gen
+
+let wraparound_prop (cap, nw, ops) =
+  let t = Recorder.create ~n_workers:nw ~capacity:cap in
+  Recorder.set_enabled t true;
+  let n_rings = Recorder.n_rings t in
+  (* Reference: per-ring list of emitted records, newest first. *)
+  let model = Array.make n_rings [] in
+  let ts = ref 0.0 in
+  List.iter
+    (fun (r, code, a) ->
+      let ring = r mod n_rings in
+      ts := !ts +. 1e-6;
+      Recorder.emit t ring !ts code a (a * 2);
+      model.(ring) <- (!ts, code, a, a * 2) :: model.(ring))
+    ops;
+  let ok = ref true in
+  let check_ring decoded ring =
+    let emitted = List.length model.(ring) in
+    let expect =
+      List.filteri (fun i _ -> i < min cap emitted) model.(ring) |> List.rev
+    in
+    let got =
+      Array.to_list decoded |> List.filter (fun e -> e.Recorder.e_ring = ring)
+    in
+    if List.length got <> List.length expect then ok := false
+    else
+      List.iteri
+        (fun i ((ts, code, a, b), e) ->
+          if
+            e.Recorder.e_ts <> ts || e.Recorder.e_code <> code
+            || e.Recorder.e_a <> a || e.Recorder.e_b <> b
+            || e.Recorder.e_seq <> emitted - List.length expect + i
+          then ok := false)
+        (List.combine expect got)
+  in
+  let all = Recorder.events t in
+  for ring = 0 to n_rings - 1 do
+    check_ring all ring;
+    check_ring (Recorder.ring_events t ring) ring
+  done;
+  (* Round-trip: the dump decodes to the identical event stream. *)
+  (match Recorder.decode (Recorder.encode t) with
+  | Error _ -> ok := false
+  | Ok d ->
+      if
+        d.Recorder.d_n_rings <> n_rings
+        || d.Recorder.d_capacity <> cap
+        || d.Recorder.d_events <> all
+      then ok := false);
+  !ok
+
+let wraparound_check =
+  QCheck.Test.make ~count:300 ~name:"ring = last-capacity suffix; dump round-trips"
+    ops_arb wraparound_prop
+
+(* ------------------------------------------------------------------ *)
+
+let test_decode_garbage () =
+  (match Recorder.decode "not a flight record" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded");
+  match Recorder.decode "FLTREC01truncated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated dump decoded"
+
+(* Hand-built stream through the lifecycle state machine: spawn ->
+   ready -> run -> preempt -> run -> block -> wake -> run -> finish. *)
+let test_lifecycle_reconstruction () =
+  let t = Recorder.create ~n_workers:1 ~capacity:64 in
+  Recorder.set_enabled t true;
+  let g = Recorder.global_ring t in
+  Recorder.emit t g 0.0 Recorder.ev_spawn 7 0;
+  Recorder.emit t g 0.0 Recorder.ev_ready 7 0;
+  Recorder.emit t 0 1.0 Recorder.ev_run 7 0;
+  Recorder.emit t 0 2.0 Recorder.ev_preempt 7 1;
+  Recorder.emit t 0 3.0 Recorder.ev_resume 7 0;
+  Recorder.emit t 0 4.0 Recorder.ev_block 7 0;
+  Recorder.emit t g 5.0 Recorder.ev_ready 7 0;
+  Recorder.emit t 0 6.0 Recorder.ev_run 7 0;
+  Recorder.emit t g 7.0 Recorder.ev_finish 7 0;
+  match Recorder.lifecycles (Recorder.events t) with
+  | [ lc ] ->
+      Alcotest.(check int) "uid" 7 lc.Recorder.lc_uid;
+      Alcotest.(check (float 0.0)) "spawned" 0.0 lc.Recorder.lc_spawned;
+      Alcotest.(check (float 0.0)) "finished" 7.0 lc.Recorder.lc_finished;
+      Alcotest.(check int) "runs" 3 lc.Recorder.lc_runs;
+      Alcotest.(check int) "preempts" 1 lc.Recorder.lc_preempts;
+      Alcotest.(check int) "blocks" 1 lc.Recorder.lc_blocks;
+      (* run slices: 1->2, 3->4, 6->7 *)
+      Alcotest.(check (float 1e-9)) "run time" 3.0 lc.Recorder.lc_run_time;
+      Alcotest.(check bool) "all spans closed" true
+        (List.for_all
+           (fun s -> not (Float.is_nan s.Recorder.s_to))
+           lc.Recorder.lc_spans)
+  | lcs -> Alcotest.failf "expected 1 lifecycle, got %d" (List.length lcs)
+
+(* Attribution exactness on a real preemptive run: the stage sums,
+   rebucketed, must reproduce the runtime's sig_to_switch histogram
+   bucket-for-bucket — same samples from the same timestamps, so no
+   one-bucket tolerance is needed here. *)
+let test_attribution_matches_histogram () =
+  let rt, uids = Experiments.Observe.run_workload () in
+  let report = Experiments.Observe.of_runtime rt in
+  let m = Runtime.metrics rt in
+  let chains = report.Experiments.Observe.r_chains in
+  Alcotest.(check bool) "chains found" true (chains <> []);
+  let rebuilt = Metrics.Hist.create () in
+  List.iter
+    (fun c -> Metrics.Hist.add rebuilt (Recorder.chain_total c))
+    chains;
+  Alcotest.(check int) "sample count"
+    (Metrics.Hist.count m.Metrics.s_sig_to_switch)
+    (Metrics.Hist.count rebuilt);
+  for b = 0 to Metrics.Hist.n_buckets - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "bucket %d" b)
+      (Metrics.Hist.bucket_count m.Metrics.s_sig_to_switch b)
+      (Metrics.Hist.bucket_count rebuilt b)
+  done;
+  (* And the packaged smoke checks agree. *)
+  match Experiments.Observe.smoke ~spawned:uids report with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* A caught violation carries a decodable flight record whose
+   reconstruction shows the stuck threads. *)
+let test_counterexample_flight_decodes () =
+  let s =
+    match Check.Scenarios.find "deadlock" with
+    | Some s -> s
+    | None -> Alcotest.fail "deadlock scenario missing"
+  in
+  let r =
+    Check.run ~seed:1 ~budget:s.Check.Scenarios.sbudget
+      ~strategy:Check.Random_walk s.Check.Scenarios.prog
+  in
+  match r.Check.result with
+  | `Ok -> Alcotest.fail "deadlock not caught"
+  | `Violation cx -> (
+      Alcotest.(check bool) "flight dump attached" true
+        (cx.Check.cx_flight <> "");
+      match Recorder.decode cx.Check.cx_flight with
+      | Error e -> Alcotest.failf "flight dump does not decode: %s" e
+      | Ok d ->
+          Alcotest.(check bool) "events retained" true
+            (Array.length d.Recorder.d_events > 0);
+          let lcs = Recorder.lifecycles d.Recorder.d_events in
+          Alcotest.(check bool) "both ULTs reconstructed" true
+            (List.length lcs >= 2);
+          Alcotest.(check bool) "stuck threads never finish" true
+            (List.for_all
+               (fun lc -> Float.is_nan lc.Recorder.lc_finished)
+               lcs))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest wraparound_check;
+    Alcotest.test_case "decode rejects garbage" `Quick test_decode_garbage;
+    Alcotest.test_case "lifecycle reconstruction" `Quick
+      test_lifecycle_reconstruction;
+    Alcotest.test_case "attribution matches sig_to_switch" `Quick
+      test_attribution_matches_histogram;
+    Alcotest.test_case "counterexample flight decodes" `Quick
+      test_counterexample_flight_decodes;
+  ]
