@@ -1,7 +1,13 @@
 (* All primitives follow the same pattern: a host [Mutex.t] protects the
    state; blocked fibers park a wake closure (provided by
    [Fiber.suspend]) in the state and are re-queued by whoever changes
-   it.  The host lock is only held for O(1) bookkeeping. *)
+   it.  The host lock is only held for O(1) bookkeeping.
+
+   Wakes always run *outside* the host lock (calling into the scheduler
+   while holding it would invert the lock order with the pool's park
+   path), and always in FIFO registration order: Mutex/Semaphore/Channel
+   keep their waiters in a [Queue], Barrier releases its accumulated
+   list oldest-arrival-first.  test_fsync.ml pins the FIFO order. *)
 
 module Mutex = struct
   type t = {
@@ -173,7 +179,9 @@ module Barrier = struct
             t.waiters <- [];
             passed := true;
             Stdlib.Mutex.unlock t.lock;
-            List.iter (fun w -> w ()) ws;
+            (* [waiters] accumulated newest-first; release in arrival
+               (FIFO) order. *)
+            List.iter (fun w -> w ()) (List.rev ws);
             `Continue
           end
           else begin

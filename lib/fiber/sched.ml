@@ -1,28 +1,47 @@
 type task = unit -> unit
 
+(* Worker records are written from two sides: the owner bumps
+   [rng_state] on every steal probe while the ticker thread sets
+   [preempt] once per interval.  Both get their own cache-line
+   neighborhood: the record is padded past 64 bytes so adjacent workers
+   in [pool.workers] do not share a line, and each [preempt] atomic is
+   allocated with a live filler ([pad_keep]) between it and the next
+   worker's atomic so the flags do not end up packed into one line
+   either (the filler is reachable from the record, so compaction cannot
+   drop it and re-pack the atomics). *)
 type worker = {
   wid : int;
   deque : task Deque.t;
-  mutable preempt : bool;  (* set by the ticker, cleared at safe points *)
+  preempt : bool Atomic.t; (* set by the ticker, cleared at safe points *)
   mutable rng_state : int;
+  pad_keep : int array;
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
 }
 
 type pool = {
   workers : worker array;
   mutable doms : unit Domain.t list;
-  lock : Mutex.t;  (* protects epoch/shutdown + condvar *)
+  park_lock : Mutex.t; (* held only to park and to signal sleepers *)
   cond : Condition.t;
-  mutable epoch : int;  (* bumped on every push: lost-wakeup guard *)
-  mutable shutdown : bool;
-  mutable active_runs : int;
+  epoch : int Atomic.t; (* bumped on every push: lost-wakeup guard *)
+  n_sleepers : int Atomic.t; (* workers inside the parking protocol *)
+  shutdown : bool Atomic.t;
   preempt_interval : float option;
   mutable ticker : Thread.t option;
   preempt_count : int Atomic.t;
 }
 
+(* Promise state machine: one atomic word, CAS [Pending -> Resolved /
+   Failed].  [resolve] and [await]'s fast path never touch a lock;
+   waiters accumulate by CAS-consing onto the pending list and are woken
+   in FIFO registration order (the cons list is reversed once on
+   resolve). *)
 type 'a state = Pending of (unit -> unit) list | Resolved of 'a | Failed of exn
 
-type 'a promise = { mutex : Mutex.t; mutable state : 'a state }
+type 'a promise = 'a state Atomic.t
 
 type _ Effect.t +=
   | Yield : unit Effect.t
@@ -40,21 +59,52 @@ let self () =
   | Some pw -> pw
   | None -> failwith "Fiber: not inside a fiber runtime worker"
 
-let wake_all pool =
-  Mutex.lock pool.lock;
-  pool.epoch <- pool.epoch + 1;
+(* ------------------------------------------------------------------ *)
+(* Wakeups.
+
+   Pushers never broadcast.  The protocol against lost wakeups:
+
+     pusher:  deque push; incr epoch; if n_sleepers > 0 then
+              lock; signal; unlock
+     sleeper: incr n_sleepers; e := epoch; full find_task sweep;
+              if still empty: lock; if epoch = e then wait; unlock;
+              decr n_sleepers
+
+   All counters are SC atomics, so either the pusher observes the
+   sleeper's [n_sleepers] increment (and signals under the lock the
+   sleeper waits on), or the sleeper's subsequent reads observe the
+   pusher's epoch bump — the under-lock [epoch = e] re-check then fails
+   and the sleeper retries instead of sleeping.  Either way a push
+   cannot slip between a failed sweep and [Condition.wait].  Workers
+   with no sleepers in sight pay one atomic increment and one atomic
+   load per push — no mutex, no condvar. *)
+
+let notify_one pool =
+  Atomic.incr pool.epoch;
+  if Atomic.get pool.n_sleepers > 0 then begin
+    Mutex.lock pool.park_lock;
+    Condition.signal pool.cond;
+    Mutex.unlock pool.park_lock
+  end
+
+(* Broadcast: only for state visible to *every* worker — shutdown and
+   run-completion ([until] flipping), where one targeted signal could
+   wake the wrong sleeper and strand the one whose predicate changed. *)
+let notify_all pool =
+  Atomic.incr pool.epoch;
+  Mutex.lock pool.park_lock;
   Condition.broadcast pool.cond;
-  Mutex.unlock pool.lock
+  Mutex.unlock pool.park_lock
 
 let push_task pool w task =
   Deque.push w.deque task;
-  wake_all pool
+  notify_one pool
 
 (* A yielded fiber goes to the thief end: the owner (who pops LIFO)
    runs every other local task first, so yield actually gives way. *)
 let push_task_yield pool w task =
   Deque.push_front w.deque task;
-  wake_all pool
+  notify_one pool
 
 (* Cheap xorshift for victim selection. *)
 let next_rand w =
@@ -131,20 +181,20 @@ let make_fiber pool body = fun () -> Effect.Deep.match_with body () (handler poo
 (* ------------------------------------------------------------------ *)
 (* Promises. *)
 
-let promise () = { mutex = Mutex.create (); state = Pending [] }
+let promise () = Atomic.make (Pending [])
 
-let resolve p outcome =
-  Mutex.lock p.mutex;
-  let waiters = match p.state with Pending ws -> ws | Resolved _ | Failed _ -> [] in
-  p.state <- outcome;
-  Mutex.unlock p.mutex;
-  List.iter (fun wake -> wake ()) waiters
+let rec resolve p outcome =
+  match Atomic.get p with
+  | Pending ws as cur ->
+      if Atomic.compare_and_set p cur outcome then
+        (* [ws] accumulated newest-first; wake in FIFO registration
+           order (test_fsync pins this). *)
+        List.iter (fun wake -> wake ()) (List.rev ws)
+      else resolve p outcome
+  | Resolved _ | Failed _ -> ()
 
 let is_resolved p =
-  Mutex.lock p.mutex;
-  let r = match p.state with Pending _ -> false | Resolved _ | Failed _ -> true in
-  Mutex.unlock p.mutex;
-  r
+  match Atomic.get p with Pending _ -> false | Resolved _ | Failed _ -> true
 
 let spawn body =
   let pool, w = self () in
@@ -160,21 +210,21 @@ let spawn body =
 
 let await p =
   let rec value () =
-    match p.state with
+    match Atomic.get p with
     | Resolved v -> v
     | Failed e -> raise e
     | Pending _ ->
         Effect.perform
           (Suspend
              (fun wake ->
-               Mutex.lock p.mutex;
-               match p.state with
-               | Pending ws ->
-                   p.state <- Pending (wake :: ws);
-                   Mutex.unlock p.mutex
-               | Resolved _ | Failed _ ->
-                   Mutex.unlock p.mutex;
-                   wake ()));
+               let rec register () =
+                 match Atomic.get p with
+                 | Pending ws as cur ->
+                     if not (Atomic.compare_and_set p cur (Pending (wake :: ws)))
+                     then register ()
+                 | Resolved _ | Failed _ -> wake ()
+               in
+               register ()));
         value ()
   in
   value ()
@@ -185,8 +235,9 @@ let suspend_or decide = Effect.perform (Suspend_or decide)
 
 let check () =
   let pool, w = self () in
-  if w.preempt then begin
-    w.preempt <- false;
+  (* Fast path: one atomic load. *)
+  if Atomic.get w.preempt then begin
+    Atomic.set w.preempt false;
     Atomic.incr pool.preempt_count;
     yield ()
   end
@@ -194,26 +245,56 @@ let check () =
 (* ------------------------------------------------------------------ *)
 (* Workers. *)
 
+(* Spin-then-park: a worker that found nothing re-probes a few times
+   with exponentially growing [cpu_relax] backoff before touching the
+   pool mutex.  Short idle gaps (the common case in fork–join churn)
+   resolve without a futex round-trip; persistent idleness parks. *)
+let spin_rounds = 8
+
+let backoff round =
+  let spins = 1 lsl (if round < 6 then round else 6) in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done
+
 let worker_loop pool w ~until =
   Domain.DLS.set current_worker (Some (pool, w));
-  let rec loop () =
-    if (not (until ())) && not pool.shutdown then begin
-      let epoch_before =
-        Mutex.lock pool.lock;
-        let e = pool.epoch in
-        Mutex.unlock pool.lock;
-        e
-      in
-      (match find_task pool w with
-      | Some task -> task ()
+  let stop () = until () || Atomic.get pool.shutdown in
+  (* Returns [None] only when [stop] was observed. *)
+  let rec next_task round =
+    if stop () then None
+    else
+      match find_task pool w with
+      | Some _ as r -> r
       | None ->
-          (* Nothing found: sleep unless work arrived since we looked. *)
-          Mutex.lock pool.lock;
-          if pool.epoch = epoch_before && (not (until ())) && not pool.shutdown then
-            Condition.wait pool.cond pool.lock;
-          Mutex.unlock pool.lock);
-      loop ()
-    end
+          if round < spin_rounds then begin
+            backoff round;
+            next_task (round + 1)
+          end
+          else park ()
+  and park () =
+    Atomic.incr pool.n_sleepers;
+    let e = Atomic.get pool.epoch in
+    (* Re-sweep after announcing: a pusher that missed our increment
+       must have bumped [epoch] first, failing the re-check below. *)
+    match find_task pool w with
+    | Some _ as r ->
+        Atomic.decr pool.n_sleepers;
+        r
+    | None ->
+        Mutex.lock pool.park_lock;
+        if Atomic.get pool.epoch = e && not (stop ()) then
+          Condition.wait pool.cond pool.park_lock;
+        Mutex.unlock pool.park_lock;
+        Atomic.decr pool.n_sleepers;
+        next_task 0
+  in
+  let rec loop () =
+    match next_task 0 with
+    | Some task ->
+        task ();
+        loop ()
+    | None -> ()
   in
   loop ();
   Domain.DLS.set current_worker None
@@ -221,9 +302,9 @@ let worker_loop pool w ~until =
 let domain_main pool w = worker_loop pool w ~until:(fun () -> false)
 
 let ticker_loop pool interval =
-  while not pool.shutdown do
+  while not (Atomic.get pool.shutdown) do
     Thread.delay interval;
-    Array.iter (fun w -> w.preempt <- true) pool.workers
+    Array.iter (fun w -> Atomic.set w.preempt true) pool.workers
   done
 
 let create ?domains ?preempt_interval () =
@@ -235,17 +316,29 @@ let create ?domains ?preempt_interval () =
   in
   let workers =
     Array.init n (fun wid ->
-        { wid; deque = Deque.create (); preempt = false; rng_state = (wid * 7919) + 13 })
+        {
+          wid;
+          deque = Deque.create ();
+          preempt = Atomic.make false;
+          (* Live spacer between consecutive [preempt] atomics; see the
+             [worker] comment. *)
+          pad_keep = Array.make 8 0;
+          rng_state = (wid * 7919) + 13;
+          pad0 = 0;
+          pad1 = 0;
+          pad2 = 0;
+          pad3 = 0;
+        })
   in
   let pool =
     {
       workers;
       doms = [];
-      lock = Mutex.create ();
+      park_lock = Mutex.create ();
       cond = Condition.create ();
-      epoch = 0;
-      shutdown = false;
-      active_runs = 0;
+      epoch = Atomic.make 0;
+      n_sleepers = Atomic.make 0;
+      shutdown = Atomic.make false;
       preempt_interval;
       ticker = None;
       preempt_count = Atomic.make 0;
@@ -265,7 +358,7 @@ let domains pool = Array.length pool.workers
 let preemptions pool = Atomic.get pool.preempt_count
 
 let run pool main =
-  if pool.shutdown then invalid_arg "Fiber.run: pool is shut down";
+  if Atomic.get pool.shutdown then invalid_arg "Fiber.run: pool is shut down";
   (match Domain.DLS.get current_worker with
   | Some _ -> invalid_arg "Fiber.run: reentrant call from inside a fiber"
   | None -> ());
@@ -277,12 +370,13 @@ let run pool main =
         | v -> result := Some (Ok v)
         | exception e -> result := Some (Error e));
         resolve p (Resolved ());
-        (* Worker 0 may be asleep with nothing left to do. *)
-        wake_all pool)
+        (* Worker 0's [until] just flipped; it may be parked, and a
+           targeted signal could wake somebody else instead. *)
+        notify_all pool)
   in
   let w0 = pool.workers.(0) in
   Deque.push w0.deque fiber;
-  wake_all pool;
+  notify_one pool;
   worker_loop pool w0 ~until:(fun () -> is_resolved p);
   (* Drain any leftover ready work this run created?  Fibers spawned but
      not awaited keep running on the other domains; that is by design. *)
@@ -292,8 +386,8 @@ let run pool main =
   | None -> failwith "Fiber.run: main fiber did not complete"
 
 let shutdown pool =
-  pool.shutdown <- true;
-  wake_all pool;
+  Atomic.set pool.shutdown true;
+  notify_all pool;
   List.iter Domain.join pool.doms;
   (match pool.ticker with Some t -> Thread.join t | None -> ());
   pool.doms <- []

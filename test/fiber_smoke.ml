@@ -1,0 +1,148 @@
+(* Multi-domain smoke for the lock-free fiber runtime (dune alias
+   @fiber-smoke, part of @runtest).
+
+   Everything here is a liveness/linearizability check that needs real
+   domains, which alcotest's in-process suites exercise only lightly:
+
+   1. Chase–Lev deque under contention: 1 owner (push/pop, with
+      interleaved push_front) vs N stealer domains.  Every pushed value
+      must be claimed exactly once — no losses, no duplicates — and the
+      claimed checksum must equal the pushed checksum.
+   2. Park/unpark hammer: repeated tiny spawn/await bursts separated by
+      forced idle gaps, so workers continuously cross the
+      spin -> park -> signal -> unpark path.  A lost wakeup hangs the
+      run (the driver's timeout is the failure detector); completing all
+      rounds is the pass.
+   3. Cross-domain preemption ticker: greedy fibers on several domains
+      must all be preempted at safe points and complete.
+
+   Iteration counts are sized to finish in a few seconds on a single
+   oversubscribed core (CI worst case). *)
+
+let fail fmt = Printf.ksprintf (fun s -> print_endline ("FAIL: " ^ s); exit 1) fmt
+
+(* ------------------------------------------------------------------ *)
+(* 1. Deque: 1 owner vs N stealers. *)
+
+let deque_stress ~stealers ~items =
+  let d = Fiber.Deque.create () in
+  let seen = Array.init items (fun _ -> Atomic.make 0) in
+  let claimed = Atomic.make 0 in
+  let claimed_sum = Atomic.make 0 in
+  let claim v =
+    ignore (Atomic.fetch_and_add (Array.get seen v) 1);
+    ignore (Atomic.fetch_and_add claimed_sum v);
+    Atomic.incr claimed
+  in
+  let thieves =
+    List.init stealers (fun _ ->
+        Domain.spawn (fun () ->
+            while Atomic.get claimed < items do
+              match Fiber.Deque.steal d with
+              | Some v -> claim v
+              | None -> Domain.cpu_relax ()
+            done))
+  in
+  (* Owner: push everything (every 7th value via the front segment),
+     popping a batch every so often so owner pops race the steals. *)
+  for v = 0 to items - 1 do
+    if v mod 7 = 3 then Fiber.Deque.push_front d v else Fiber.Deque.push d v;
+    if v mod 64 = 63 then
+      for _ = 1 to 16 do
+        match Fiber.Deque.pop d with Some x -> claim x | None -> ()
+      done
+  done;
+  let rec drain () =
+    if Atomic.get claimed < items then begin
+      (match Fiber.Deque.pop d with
+      | Some x -> claim x
+      | None -> Domain.cpu_relax ());
+      drain ()
+    end
+  in
+  drain ();
+  List.iter Domain.join thieves;
+  Array.iteri
+    (fun v c ->
+      let c = Atomic.get c in
+      if c <> 1 then fail "deque stress: value %d claimed %d times" v c)
+    seen;
+  let expect = items * (items - 1) / 2 in
+  if Atomic.get claimed_sum <> expect then
+    fail "deque stress: checksum %d, expected %d" (Atomic.get claimed_sum) expect;
+  if Fiber.Deque.length d <> 0 then
+    fail "deque stress: %d left over" (Fiber.Deque.length d);
+  Printf.printf "deque stress: %d items, %d stealers, no dup/loss\n%!" items
+    stealers
+
+(* ------------------------------------------------------------------ *)
+(* 2. Park/unpark hammer. *)
+
+let park_hammer ~domains ~rounds =
+  let pool = Fiber.create ~domains () in
+  let total = Atomic.make 0 in
+  for round = 1 to rounds do
+    let n =
+      Fiber.run pool (fun () ->
+          (* A burst small enough that workers go idle between rounds;
+             a yield in each child forces a re-queue through the
+             wake path as well. *)
+          let ps =
+            List.init (1 + (round mod 4)) (fun i ->
+                Fiber.spawn (fun () ->
+                    Fiber.yield ();
+                    i + 1))
+          in
+          List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+    in
+    ignore (Atomic.fetch_and_add total n)
+  done;
+  Fiber.shutdown pool;
+  let expect = ref 0 in
+  for round = 1 to rounds do
+    let k = 1 + (round mod 4) in
+    expect := !expect + (k * (k + 1) / 2)
+  done;
+  if Atomic.get total <> !expect then
+    fail "park hammer: sum %d, expected %d" (Atomic.get total) !expect;
+  Printf.printf "park hammer: %d rounds x %d domains, no lost wakeup\n%!" rounds
+    domains
+
+(* ------------------------------------------------------------------ *)
+(* 3. Preemption ticker across domains. *)
+
+let preempt_smoke ~domains =
+  let pool = Fiber.create ~domains ~preempt_interval:0.002 () in
+  let finished =
+    Fiber.run pool (fun () ->
+        let ps =
+          List.init (2 * domains) (fun _ ->
+              Fiber.spawn (fun () ->
+                  (* Greedy until somebody (us or a sibling) takes a
+                     preemption, with a generous deadline: on an
+                     oversubscribed single-core CI box the ticker
+                     thread may only get scheduled every ~50 ms. *)
+                  let t0 = Unix.gettimeofday () in
+                  while
+                    Fiber.preemptions pool = 0
+                    && Unix.gettimeofday () -. t0 < 5.0
+                  do
+                    Fiber.check ()
+                  done;
+                  1))
+        in
+        List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+  in
+  let preempted = Fiber.preemptions pool in
+  Fiber.shutdown pool;
+  if finished <> 2 * domains then
+    fail "preempt smoke: %d fibers finished, expected %d" finished (2 * domains);
+  if preempted = 0 then fail "preempt smoke: ticker never preempted anybody";
+  Printf.printf "preempt smoke: %d greedy fibers on %d domains, %d preemptions\n%!"
+    finished domains preempted
+
+let () =
+  deque_stress ~stealers:3 ~items:30_000;
+  park_hammer ~domains:3 ~rounds:400;
+  preempt_smoke ~domains:2;
+  print_endline "fiber-smoke: OK"

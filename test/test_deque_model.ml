@@ -1,7 +1,10 @@
-(* QCheck linearizability-style model test: Fiber.Deque — a
-   mutex-protected ring buffer with free-running indices — against a
-   reference two-list functional deque, including wraparound of the
-   indices and growth past the initial capacity (16). *)
+(* QCheck linearizability-style model test: Fiber.Deque — now a
+   Chase–Lev lock-free ring with free-running atomic indices plus a
+   CAS-swapped front segment for push_front — against a reference
+   two-list functional deque, including wraparound of the indices,
+   growth past the initial capacity (16), and the segment/ring boundary.
+   Sequential use is exact (length included); the concurrent guarantees
+   are exercised by test/fiber_smoke.ml under real domains. *)
 
 (* Reference model: [front] head-first, [back] tail-first.  The owner
    end is the back, the thief end is the front. *)
@@ -155,6 +158,44 @@ let test_push_front_ordering () =
   done;
   Alcotest.(check int) "empty" 0 (Fiber.Deque.length d)
 
+(* Directed walk across the segment/ring boundary: the owner crosses
+   from the ring into the front segment (oldest-first) and back, and
+   thieves cross from the segment (newest-first) into the ring; both
+   internal list reversals of the segment get exercised. *)
+let test_segment_ring_boundary () =
+  let d = Fiber.Deque.create () in
+  let m = m_create () in
+  let both_push v =
+    Fiber.Deque.push d v;
+    m_push m v
+  and both_push_front v =
+    Fiber.Deque.push_front d v;
+    m_push_front m v
+  in
+  for v = 0 to 4 do
+    both_push_front (100 + v)
+  done;
+  for v = 0 to 4 do
+    both_push v
+  done;
+  (* Owner drains the ring, then continues into the segment: it must
+     see 4,3,2,1,0 then the *oldest* front pushes 100,101,... *)
+  for step = 0 to 6 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "pop across boundary %d" step)
+      (m_pop m) (Fiber.Deque.pop d)
+  done;
+  both_push_front 200;
+  (* Thief: newest front first (200, then 104, 103, 102); the ring
+     would follow if anything were left. *)
+  for step = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "steal across boundary %d" step)
+      (m_steal m) (Fiber.Deque.steal d)
+  done;
+  Alcotest.(check int) "drained" 0 (Fiber.Deque.length d);
+  Alcotest.(check int) "model drained" 0 (m_length m)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest model_check;
@@ -162,4 +203,5 @@ let suite =
       test_wraparound_without_growth;
     Alcotest.test_case "growth past capacity" `Quick test_growth_past_capacity;
     Alcotest.test_case "push_front ordering" `Quick test_push_front_ordering;
+    Alcotest.test_case "segment/ring boundary" `Quick test_segment_ring_boundary;
   ]

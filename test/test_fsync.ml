@@ -140,6 +140,88 @@ let test_producer_consumer_pipeline () =
       Alcotest.(check int) "pipeline sum" (2 * 50 * 51 / 2) result)
 
 (* ------------------------------------------------------------------ *)
+(* FIFO waiter order.
+
+   All wake closures — Fsync queues, Barrier arrivals, promise waiters —
+   must run in FIFO registration order.  On a 1-domain pool the whole
+   schedule is deterministic, and wake order is observable through the
+   owner deque: each wake pushes a continuation at the owner (LIFO) end,
+   so the *execution* order of the woken fibers is the exact reverse of
+   the wake order.  Each test below derives the expected sequence from
+   FIFO wakes; a LIFO regression flips it. *)
+
+let test_channel_reader_fifo () =
+  with_pool ~domains:1 (fun pool ->
+      let got = Array.make 4 0 in
+      Fiber.run pool (fun () ->
+          let ch = Fsync.Channel.create () in
+          (* Spawn order c1,c2,c3; the LIFO deque runs them c3,c2,c1, so
+             the readers queue holds [c3; c2; c1].  Sends wake FIFO
+             (c3 first); the woken continuations stack back up LIFO, so
+             c1 runs first and takes item 1.  Net effect of FIFO wakes +
+             LIFO re-queue: reader ci receives value i. *)
+          let cs =
+            List.init 3 (fun i ->
+                Fiber.spawn (fun () -> got.(i + 1) <- Fsync.Channel.recv ch))
+          in
+          Fiber.yield ();
+          (* All three readers are now registered. *)
+          for v = 1 to 3 do
+            Fsync.Channel.send ch v
+          done;
+          List.iter Fiber.await cs);
+      Alcotest.(check (list int)) "FIFO delivery" [ 1; 2; 3 ]
+        [ got.(1); got.(2); got.(3) ])
+
+let test_promise_waiter_fifo () =
+  with_pool ~domains:1 (fun pool ->
+      let order = ref [] in
+      Fiber.run pool (fun () ->
+          let stop = Atomic.make false in
+          let gate =
+            Fiber.spawn (fun () ->
+                while not (Atomic.get stop) do
+                  Fiber.yield ()
+                done;
+                99)
+          in
+          (* a3 runs (and registers on [gate]) first, then a2, then a1:
+             FIFO wakes fire a3,a2,a1, which re-queue LIFO, so the
+             recorded resume order must be a1,a2,a3 = [1;2;3]. *)
+          let waiters =
+            List.init 3 (fun i ->
+                Fiber.spawn (fun () ->
+                    let v = Fiber.await gate in
+                    order := (i + 1) :: !order;
+                    v))
+          in
+          Atomic.set stop true;
+          List.iter (fun p -> ignore (Fiber.await p)) waiters;
+          Alcotest.(check int) "gate value" 99 (Fiber.await gate));
+      Alcotest.(check (list int)) "promise wakes FIFO" [ 1; 2; 3 ]
+        (List.rev !order))
+
+let test_barrier_release_fifo () =
+  with_pool ~domains:1 (fun pool ->
+      let order = ref [] in
+      Fiber.run pool (fun () ->
+          let b = Fsync.Barrier.create 4 in
+          (* Arrival order b3,b2,b1 (LIFO deque), main trips the
+             barrier; FIFO release wakes b3 first, LIFO re-queue runs
+             b1 first: recorded order [1;2;3]. *)
+          let bs =
+            List.init 3 (fun i ->
+                Fiber.spawn (fun () ->
+                    Fsync.Barrier.wait b;
+                    order := (i + 1) :: !order))
+          in
+          Fiber.yield ();
+          Fsync.Barrier.wait b;
+          List.iter Fiber.await bs);
+      Alcotest.(check (list int)) "barrier releases FIFO" [ 1; 2; 3 ]
+        (List.rev !order))
+
+(* ------------------------------------------------------------------ *)
 (* The same synchronization patterns, ported onto the simulated
    preemptive runtime and explored under Check.run: instead of trusting
    one real-domain interleaving per CI run, each pattern is checked
@@ -301,6 +383,9 @@ let suite =
     Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
     Alcotest.test_case "barrier phases" `Quick test_barrier_phases;
     Alcotest.test_case "producer/consumer pipeline" `Quick test_producer_consumer_pipeline;
+    Alcotest.test_case "channel readers wake FIFO" `Quick test_channel_reader_fifo;
+    Alcotest.test_case "promise waiters wake FIFO" `Quick test_promise_waiter_fifo;
+    Alcotest.test_case "barrier releases FIFO" `Quick test_barrier_release_fifo;
     Alcotest.test_case "mutex counter, checked x200" `Quick
       test_mutex_counter_checked;
     Alcotest.test_case "channel SPMC, checked x200" `Quick
