@@ -173,6 +173,7 @@ let parse_strategy s =
   match s with
   | "random" -> Ok Check.Random_walk
   | "dfs" -> Ok Check.Dfs
+  | "dpor" -> Ok Check.Dpor
   | _ -> (
       match String.split_on_char ':' s with
       | [ "pct"; d ] -> (
@@ -181,22 +182,28 @@ let parse_strategy s =
           | _ -> Error (Printf.sprintf "bad PCT depth in %S" s))
       | _ ->
           Error
-            (Printf.sprintf "unknown strategy %S (want random, pct:D or dfs)" s)
-      )
+            (Printf.sprintf
+               "unknown strategy %S (want random, pct:D, dfs or dpor)" s))
 
-let verdict_line name expect (r : Check.report) =
+let verdict_line ?(must_exhaust = false) name expect (r : Check.report) =
   let verdict, detail =
     match r.Check.result with
     | `Ok ->
         ( Check.Scenarios.Pass,
-          Printf.sprintf "no violation in %d schedule(s)%s" r.Check.schedules
-            (if r.Check.exhausted then " (space exhausted)" else "") )
+          Printf.sprintf "no violation in %d schedule(s)%s%s" r.Check.schedules
+            (if r.Check.exhausted then " (space exhausted)" else "")
+            (if r.Check.pruned > 0 then
+               Printf.sprintf " (%d pruned)" r.Check.pruned
+             else "") )
     | `Violation cx ->
         ( Check.Scenarios.Fail,
           Printf.sprintf "caught at schedule #%d: %s" cx.Check.cx_schedule
             cx.Check.cx_message )
   in
-  let ok = verdict = expect in
+  let ok =
+    verdict = expect
+    && ((not must_exhaust) || verdict = Check.Scenarios.Fail || r.Check.exhausted)
+  in
   Printf.printf "%-12s %s  %s\n%!" name
     (if ok then "[as expected]" else "[UNEXPECTED]")
     detail;
@@ -225,8 +232,37 @@ let dump_cx_flight flight_file default_path (cx : Check.counterexample) =
       path
   end
 
-let check_main list_scenarios prog budget strategy seed faults replay trace_file
-    flight_file =
+(* Parallel-determinism smoke: [jobs:1] and [jobs:4] with the same seed
+   must agree on the first-violating schedule, its message and its
+   shrunk trail (part of @check-smoke). *)
+let jobs_determinism_check ~seed =
+  match Check.Scenarios.find "racy-flag" with
+  | None -> true
+  | Some s ->
+      let go jobs =
+        Check.run ~seed ~jobs ~faults:s.Check.Scenarios.sfaults
+          ~budget:s.Check.Scenarios.sbudget ~strategy:Check.Random_walk
+          s.Check.Scenarios.prog
+      in
+      let fingerprint (r : Check.report) =
+        match r.Check.result with
+        | `Ok -> None
+        | `Violation cx ->
+            Some
+              ( cx.Check.cx_schedule,
+                cx.Check.cx_message,
+                Check.Trail.signature cx.Check.cx_trail )
+      in
+      let a = fingerprint (go 1) in
+      let b = fingerprint (go 4) in
+      let ok = a <> None && a = b in
+      Printf.printf "%-12s %s  jobs=1 and jobs=4 agree on the counterexample\n%!"
+        "jobs-determ"
+        (if ok then "[as expected]" else "[UNEXPECTED]");
+      ok
+
+let check_main list_scenarios prog budget strategy seed faults jobs tag
+    max_seconds replay trace_file flight_file =
   let fail msg =
     prerr_endline ("repro check: " ^ msg);
     exit 1
@@ -239,19 +275,48 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
           (Printf.sprintf "unknown scenario %S (have: %s)" name
              (String.concat ", " (Check.Scenarios.names ())))
   in
-  let strategy =
-    match parse_strategy strategy with Ok s -> s | Error m -> fail m
+  if jobs <= 0 then fail (Printf.sprintf "--jobs %d (must be positive)" jobs);
+  let cli_strategy =
+    Option.map
+      (fun s -> match parse_strategy s with Ok s -> s | Error m -> fail m)
+      strategy
+  in
+  (* Scenarios built for a specific strategy (DPOR programs) pin it;
+     an explicit --strategy wins, the default is random walk. *)
+  let strategy_for (s : Check.Scenarios.t) =
+    match (cli_strategy, s.Check.Scenarios.sstrategy) with
+    | Some st, _ -> st
+    | None, Some st -> st
+    | None, None -> Check.Random_walk
+  in
+  let started = Unix.gettimeofday () in
+  let check_wall_budget () =
+    match max_seconds with
+    | Some budget when Unix.gettimeofday () -. started > budget ->
+        fail
+          (Printf.sprintf "wall-clock budget exceeded (%.1fs > %.1fs)"
+             (Unix.gettimeofday () -. started)
+             budget)
+    | _ -> ()
   in
   if list_scenarios then
+    (* Sorted by name: stable output for golden tests. *)
     List.iter
-      (fun s ->
-        Printf.printf "%-12s %s — %s (budget %d%s)\n" s.Check.Scenarios.sname
+      (fun name ->
+        let s = Option.get (Check.Scenarios.find name) in
+        Printf.printf "%-14s %s — %s (budget %d%s%s%s)\n" s.Check.Scenarios.sname
           (match s.Check.Scenarios.expect with
           | Check.Scenarios.Pass -> "pass"
           | Check.Scenarios.Fail -> "fail")
           s.Check.Scenarios.sdesc s.Check.Scenarios.sbudget
-          (if s.Check.Scenarios.sfaults then ", faults" else ""))
-      Check.Scenarios.all
+          (if s.Check.Scenarios.sfaults then ", faults" else "")
+          (match s.Check.Scenarios.sstrategy with
+          | Some st -> ", strategy " ^ Check.strategy_name st
+          | None -> "")
+          (match s.Check.Scenarios.stags with
+          | [] -> ""
+          | ts -> ", tags " ^ String.concat "+" ts))
+      (Check.Scenarios.names ())
   else
     match replay with
     | Some rseed ->
@@ -260,7 +325,7 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
         let s = scenario (Option.value prog ~default:"deadlock") in
         let faults = faults || s.Check.Scenarios.sfaults in
         let r =
-          Check.run ~seed:rseed ~faults ~budget:1 ~strategy
+          Check.run ~seed:rseed ~faults ~budget:1 ~strategy:(strategy_for s)
             s.Check.Scenarios.prog
         in
         (match r.Check.result with
@@ -281,7 +346,8 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
             in
             let faults = faults || s.Check.Scenarios.sfaults in
             let r =
-              Check.run ~seed ~faults ~budget ~strategy s.Check.Scenarios.prog
+              Check.run ~seed ~faults ~jobs ~budget ~strategy:(strategy_for s)
+                s.Check.Scenarios.prog
             in
             (match r.Check.result with
             | `Violation cx ->
@@ -289,23 +355,38 @@ let check_main list_scenarios prog budget strategy seed faults replay trace_file
                 dump_cx_trace trace_file cx;
                 dump_cx_flight flight_file (name ^ ".flight") cx
             | `Ok -> ());
-            if not (verdict_line name s.Check.Scenarios.expect r) then exit 1
+            if
+              not
+                (verdict_line ~must_exhaust:s.Check.Scenarios.sexhaust name
+                   s.Check.Scenarios.expect r)
+            then exit 1
         | None ->
-            (* Smoke mode: every scenario must reach its expected
-               verdict within its committed budget. *)
+            (* Smoke mode: every (selected) scenario must reach its
+               expected verdict within its committed budget. *)
+            let scenarios =
+              match tag with
+              | Some t -> (
+                  match Check.Scenarios.find_tag t with
+                  | [] -> fail (Printf.sprintf "no scenario tagged %S" t)
+                  | ss -> ss)
+              | None -> Check.Scenarios.all
+            in
             let ok =
               List.fold_left
                 (fun acc s ->
                   let r =
-                    Check.run ~seed ~faults:s.Check.Scenarios.sfaults
-                      ~budget:s.Check.Scenarios.sbudget ~strategy
-                      s.Check.Scenarios.prog
+                    Check.run ~seed ~faults:s.Check.Scenarios.sfaults ~jobs
+                      ~budget:s.Check.Scenarios.sbudget
+                      ~strategy:(strategy_for s) s.Check.Scenarios.prog
                   in
-                  verdict_line s.Check.Scenarios.sname s.Check.Scenarios.expect
-                    r
+                  check_wall_budget ();
+                  verdict_line ~must_exhaust:s.Check.Scenarios.sexhaust
+                    s.Check.Scenarios.sname s.Check.Scenarios.expect r
                   && acc)
-                true Check.Scenarios.all
+                true scenarios
             in
+            let ok = if tag = None then jobs_determinism_check ~seed && ok else ok in
+            check_wall_budget ();
             if not ok then exit 1)
 
 let check =
@@ -332,9 +413,13 @@ let check =
   in
   let strategy =
     Arg.(
-      value & opt string "random"
+      value
+      & opt (some string) None
       & info [ "strategy" ] ~docv:"S"
-          ~doc:"Exploration strategy: $(b,random), $(b,pct:D) or $(b,dfs).")
+          ~doc:
+            "Exploration strategy: $(b,random), $(b,pct:D), $(b,dfs) or \
+             $(b,dpor).  Default: the scenario's own strategy if it pins one \
+             (DPOR programs), else $(b,random).")
   in
   let seed =
     Arg.(
@@ -348,6 +433,32 @@ let check =
           ~doc:
             "Inject runtime faults: delayed/coalesced timer signals, KLT-pool \
              exhaustion, spurious futex wakeups, worker stalls.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Explore random/PCT schedules on $(docv) domains in parallel.  \
+             The reported counterexample is identical for any job count.")
+  in
+  let tag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tag" ] ~docv:"TAG"
+          ~doc:
+            "Smoke-check only the scenarios carrying $(docv) (e.g. \
+             $(b,lock) for the lock-algorithm suite).")
+  in
+  let max_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Fail if the smoke run exceeds $(docv) seconds of wall clock \
+             (CI time-budget guard).")
   in
   let replay =
     Arg.(
@@ -379,7 +490,7 @@ let check =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check_main $ list_scenarios $ prog $ budget $ strategy $ seed
-      $ faults $ replay $ trace_file $ flight_file)
+      $ faults $ jobs $ tag $ max_seconds $ replay $ trace_file $ flight_file)
 
 let env =
   let doc = "Print the simulated machine configurations (paper Table 2)." in

@@ -69,6 +69,25 @@ module Excl : sig
   val entries : t -> int
 end
 
+(** FIFO-fairness monitor for queue locks (ticket, MCS): the lock
+    under test reports the order threads arrived and the order they
+    were granted the lock; {!Fifo.check} raises {!Violation} if the
+    two diverge. *)
+module Fifo : sig
+  type t
+
+  val create : string -> t
+
+  (** [arrived t k] records that request [k] joined the queue. *)
+  val arrived : t -> int -> unit
+
+  (** [granted t k] records that request [k] acquired the lock. *)
+  val granted : t -> int -> unit
+
+  (** Raises {!Violation} unless grants follow arrival order. *)
+  val check : t -> unit
+end
+
 (** Raises unless every spawned thread finished. *)
 val all_finished : Preempt_core.Runtime.t -> unit
 
@@ -84,6 +103,17 @@ type strategy =
       (** PCT-style: default schedule with [d] randomly placed change
           points that force a non-default pick *)
   | Dfs  (** exhaustive depth-first enumeration (small programs only) *)
+  | Dpor
+      (** exhaustive with dynamic partial-order reduction
+          (Flanagan–Godefroid backtrack sets + sleep sets): explores
+          one representative schedule per Mazurkiewicz trace of the
+          {e labeled} events.  Programs label their steps with engine
+          footprints ([Engine.spawn ~footprint] /
+          [Engine.set_footprint]); two events are dependent iff their
+          footprints share a comma-separated atom.  Unlabeled events
+          are assumed to commute with everything, so the reduction is
+          sound relative to the program's labeling (the loom-style
+          "declare your shared accesses" contract). *)
   | Replay of Trail.t  (** replay a recorded trail; beyond it, defaults *)
 
 val strategy_name : strategy -> string
@@ -113,7 +143,10 @@ type counterexample = {
 
 type report = {
   schedules : int;  (** schedules actually executed *)
-  exhausted : bool;  (** DFS only: the whole space was enumerated *)
+  pruned : int;
+      (** [Dpor] only: executions abandoned mid-schedule because their
+          next step was in the sleep set (trace already covered) *)
+  exhausted : bool;  (** DFS/DPOR only: the whole space was covered *)
   result : [ `Ok | `Violation of counterexample ];
 }
 
@@ -124,13 +157,19 @@ val describe : counterexample -> string
     All schedules share one fixed engine seed; [seed] (default 1) only
     drives the chooser, so counterexamples are replayable from
     [(seed, strategy, budget)] alone.  [faults] (default false) enables
-    fault injection.  [until] / [max_events] bound each schedule;
-    [deadlock_after] (virtual seconds, default 0.02) is how long every
-    tracked thread must stay blocked before the watchdog reports a
-    deadlock; [max_shrink_replays] bounds the shrinking phase. *)
+    fault injection.  [jobs] (default 1) fans [Random_walk] / [Pct]
+    exploration across that many domains; the reported counterexample
+    is the first-violating schedule index regardless of job count, and
+    shrinking runs sequentially afterwards, so results are identical to
+    [jobs:1] (other strategies ignore [jobs]).  [until] / [max_events]
+    bound each schedule; [deadlock_after] (virtual seconds, default
+    0.02) is how long every tracked thread must stay blocked before the
+    watchdog reports a deadlock; [max_shrink_replays] bounds the
+    shrinking phase. *)
 val run :
   ?seed:int ->
   ?faults:bool ->
+  ?jobs:int ->
   ?max_events:int ->
   ?until:float ->
   ?deadlock_after:float ->
@@ -142,3 +181,18 @@ val run :
 
 (** Re-run a counterexample's shrunk trail (deterministic). *)
 val replay : counterexample -> (env -> program) -> report
+
+(** [shrink ~replay ~max_replays trail msg] greedily shrinks a failing
+    trail toward the default schedule: phase 1 binary-searches the
+    shortest failing prefix, phase 2 zeroes chunks of forced picks in
+    halving sizes, stopping early once nothing is left to zero.
+    [replay cand] must re-execute candidate [cand] and return the
+    observed trail and message if it still fails.  Returns the best
+    trail, its message, and the number of replays spent (exposed so
+    tests can pin the shrinker's cost). *)
+val shrink :
+  replay:(Trail.t -> (Trail.t * string) option) ->
+  max_replays:int ->
+  Trail.t ->
+  string ->
+  Trail.t * string * int

@@ -5,6 +5,7 @@
     registry doubles as an end-to-end regression suite for the checker
     itself (buggy programs must be caught, correct ones must pass). *)
 
+open Desim
 open Oskern
 open Preempt_core
 
@@ -16,6 +17,10 @@ type t = {
   expect : expect;
   sfaults : bool;  (** run with fault injection enabled *)
   sbudget : int;  (** schedules that suffice for the expected verdict *)
+  sstrategy : Runner.strategy option;
+      (** strategy the scenario is built for; [None] = caller's choice *)
+  sexhaust : bool;  (** the budget must fully exhaust the space (DPOR) *)
+  stags : string list;  (** registry groups, e.g. ["lock"] *)
   prog : Runner.env -> Runner.program;
 }
 
@@ -193,6 +198,118 @@ let channel_fifo_prog env =
       Runner.no_lost_wakeups rt)
     ()
 
+(* ------------------------------------------------------------------ *)
+(* Lock-algorithm suite (lib/core/ulock.ml): each algorithm runs under
+   preemption + fault injection with the mutual-exclusion monitor, the
+   liveness and lost-wakeup oracles, and — for the queue locks — the
+   FIFO-fairness oracle over the lock's own arrival/grant history.  The
+   broken variants are seeded regressions: the checker must catch each
+   one's characteristic failure. *)
+
+let lock_threads = 3
+
+let lock_rounds = 3
+
+let lock_prog ~section ~make env =
+  let rt = preemptive_rt env in
+  let lock, unlock, extra_oracle = make rt in
+  let excl = Runner.Excl.create section in
+  let body () =
+    for _ = 1 to lock_rounds do
+      lock ();
+      Runner.Excl.critical excl (fun () -> Ult.compute 2e-5);
+      unlock ();
+      Ult.compute 1e-5
+    done
+  in
+  let us =
+    List.init lock_threads (fun i ->
+        Runtime.spawn rt ~kind:Types.Klt_switching ~home:(i mod 2)
+          ~name:(Printf.sprintf "locker%d" i) body)
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:us ~cores:2
+    ~oracle:(fun () ->
+      Runner.all_finished rt;
+      Runner.require
+        (Runner.Excl.entries excl = lock_threads * lock_rounds)
+        "%s: %d critical entries, expected %d" section
+        (Runner.Excl.entries excl)
+        (lock_threads * lock_rounds);
+      extra_oracle ();
+      Runner.no_lost_wakeups rt)
+    ()
+
+let fifo_oracle name history () =
+  let fifo = Runner.Fifo.create name in
+  let arrivals, grants = history () in
+  List.iter (Runner.Fifo.arrived fifo) arrivals;
+  List.iter (Runner.Fifo.granted fifo) grants;
+  Runner.Fifo.check fifo
+
+let ticket_prog ?unfair env =
+  lock_prog ~section:"ticket section"
+    ~make:(fun rt ->
+      let lk = Ulock.Ticket.create ?unfair rt in
+      ( (fun () -> Ulock.Ticket.lock lk),
+        (fun () -> Ulock.Ticket.unlock lk),
+        fifo_oracle "ticket lock" (fun () -> Ulock.Ticket.history lk) ))
+    env
+
+let ttas_prog ?racy env =
+  lock_prog ~section:"ttas section"
+    ~make:(fun rt ->
+      let lk = Ulock.Ttas.create ?racy rt in
+      ( (fun () -> Ulock.Ttas.lock lk),
+        (fun () -> Ulock.Ttas.unlock lk),
+        fun () -> () ))
+    env
+
+let mcs_prog ?drop_handoff env =
+  lock_prog ~section:"mcs section"
+    ~make:(fun rt ->
+      let lk = Ulock.Mcs.create ?drop_handoff rt in
+      ( (fun () -> Ulock.Mcs.lock lk),
+        (fun () -> Ulock.Mcs.unlock lk),
+        fifo_oracle "mcs lock" (fun () -> Ulock.Mcs.history lk) ))
+    env
+
+(* ------------------------------------------------------------------ *)
+(* DPOR showcase: four writer processes, three labeled steps each, all
+   at the same timestamp — 12!/(3!)^4 = 369,600 plain interleavings.
+   Only the final steps of writers 0 and 1 touch shared state, so there
+   are exactly two Mazurkiewicz traces; DPOR exhausts the space in a
+   handful of schedules where plain DFS would need all 369,600. *)
+
+let dpor_writers_prog env =
+  let eng = env.Runner.eng in
+  let writers = 4 in
+  let privates = Array.make writers 0 in
+  let shared = ref 0 in
+  for p = 0 to writers - 1 do
+    Engine.spawn eng
+      ~footprint:(Printf.sprintf "w%d" p)
+      (Printf.sprintf "writer%d" p)
+      (fun () ->
+        privates.(p) <- privates.(p) + 1;
+        Engine.delay 0.0;
+        privates.(p) <- privates.(p) + 1;
+        if p < 2 then Engine.set_footprint "shared";
+        Engine.delay 0.0;
+        if p < 2 then shared := !shared + 1 else privates.(p) <- privates.(p) + 1)
+  done;
+  Runner.program
+    ~oracle:(fun () ->
+      Runner.require (!shared = 2) "dpor-writers: shared counter %d, expected 2"
+        !shared;
+      Array.iteri
+        (fun p v ->
+          let want = if p < 2 then 2 else 3 in
+          Runner.require (v = want) "dpor-writers: writer %d count %d, expected %d"
+            p v want)
+        privates)
+    ()
+
 let all =
   [
     {
@@ -201,6 +318,9 @@ let all =
       expect = Fail;
       sfaults = false;
       sbudget = 20;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [];
       prog = deadlock_prog;
     };
     {
@@ -209,6 +329,9 @@ let all =
       expect = Fail;
       sfaults = true;
       sbudget = 300;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [];
       prog = lost_wakeup_prog;
     };
     {
@@ -217,6 +340,9 @@ let all =
       expect = Fail;
       sfaults = false;
       sbudget = 20;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [];
       prog = racy_flag_prog;
     };
     {
@@ -225,6 +351,9 @@ let all =
       expect = Pass;
       sfaults = false;
       sbudget = 60;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [];
       prog = mutex_ok_prog;
     };
     {
@@ -233,10 +362,92 @@ let all =
       expect = Pass;
       sfaults = false;
       sbudget = 60;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [];
       prog = channel_fifo_prog;
+    };
+    {
+      sname = "ticket-lock";
+      sdesc = "ticket lock: exclusion + FIFO fairness under preemption/faults";
+      expect = Pass;
+      sfaults = true;
+      sbudget = 40;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = ticket_prog ?unfair:None;
+    };
+    {
+      sname = "ticket-unfair";
+      sdesc = "broken ticket lock: LIFO barging wakeups break FIFO fairness";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 120;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = ticket_prog ~unfair:true;
+    };
+    {
+      sname = "ttas-lock";
+      sdesc = "TTAS+backoff lock: exclusion under preemption/faults";
+      expect = Pass;
+      sfaults = true;
+      sbudget = 40;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = ttas_prog ?racy:None;
+    };
+    {
+      sname = "ttas-racy";
+      sdesc = "broken TTAS: preemptible test-to-set window breaks exclusion";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 40;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = ttas_prog ~racy:true;
+    };
+    {
+      sname = "mcs-lock";
+      sdesc = "MCS queue lock: exclusion + FIFO fairness under preemption/faults";
+      expect = Pass;
+      sfaults = true;
+      sbudget = 40;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = mcs_prog ?drop_handoff:None;
+    };
+    {
+      sname = "mcs-drop";
+      sdesc = "broken MCS: release drops a mid-enqueue successor (deadlock)";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 200;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "lock" ];
+      prog = mcs_prog ~drop_handoff:true;
+    };
+    {
+      sname = "dpor-writers";
+      sdesc = "369,600-interleaving writer program exhausted by DPOR";
+      expect = Pass;
+      sfaults = false;
+      sbudget = 64;
+      sstrategy = Some Runner.Dpor;
+      sexhaust = true;
+      stags = [ "dpor" ];
+      prog = dpor_writers_prog;
     };
   ]
 
 let find name = List.find_opt (fun s -> s.sname = name) all
 
-let names () = List.map (fun s -> s.sname) all
+let find_tag tag = List.filter (fun s -> List.mem tag s.stags) all
+
+let names () = List.sort compare (List.map (fun s -> s.sname) all)

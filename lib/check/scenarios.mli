@@ -1,7 +1,13 @@
 (** Ready-made buggy and correct concurrency scenarios over the
     preemptive runtime, with the verdict the checker is expected to
     reach.  Backs the [repro check] CLI subcommand and the
-    [@check-smoke] alias. *)
+    [@check-smoke] / [@lock-suite] aliases.
+
+    The ["lock"] tag groups the {!Preempt_core.Ulock} algorithm suite:
+    correct ticket / TTAS / MCS locks that must pass the exclusion,
+    FIFO-fairness, liveness and lost-wakeup oracles under preemption
+    and fault injection, plus seeded broken variants (unfair ticket,
+    racy TTAS, handoff-dropping MCS) the checker must catch. *)
 
 type expect = Pass | Fail
 
@@ -11,6 +17,13 @@ type t = {
   expect : expect;  (** verdict the checker must reach within [sbudget] *)
   sfaults : bool;  (** run with fault injection enabled *)
   sbudget : int;  (** schedules that suffice for the expected verdict *)
+  sstrategy : Runner.strategy option;
+      (** strategy the scenario is built for (e.g. [Dpor] for programs
+          with labeled footprints); [None] = the caller's choice *)
+  sexhaust : bool;
+      (** the expected verdict includes exhausting the schedule space
+          within [sbudget] (DPOR scenarios) *)
+  stags : string list;  (** registry groups, e.g. ["lock"] *)
   prog : Runner.env -> Runner.program;
 }
 
@@ -18,4 +31,8 @@ val all : t list
 
 val find : string -> t option
 
+(** Scenarios carrying the given tag, in registry order. *)
+val find_tag : string -> t list
+
+(** All scenario names, sorted (stable for golden tests). *)
 val names : unit -> string list

@@ -6,26 +6,36 @@
    next, which is what lets [Check] enumerate and replay schedules. *)
 
 type t = {
-  mutable choose : n:int -> tag:string -> int;
-      (* pick an alternative in [0, n); 0 must mean "the default" *)
+  mutable choose : n:int -> tag:string -> alts:(int * string) array -> int;
+      (* pick an alternative in [0, n); 0 must mean "the default".
+         [alts] describes the alternatives as (event id, footprint)
+         pairs when the caller knows them (engine tie-breaks); [[||]]
+         when the choice is opaque (pool picks, steal victims, …) *)
   mutable fault : tag:string -> bool;
       (* fault-injection points: [true] makes the point misbehave *)
   mutable delay : tag:string -> max:float -> float;
       (* extra latency in [0, max] injected at the point, 0 = none *)
+  mutable fired : seq:int -> fp:string -> unit;
+      (* notification that the controlled engine dispatched event [seq]
+         carrying footprint [fp] — fed to partial-order reduction; the
+         default ignores it *)
 }
 
-let create ?(choose = fun ~n:_ ~tag:_ -> 0) ?(fault = fun ~tag:_ -> false)
-    ?(delay = fun ~tag:_ ~max:_ -> 0.0) () =
-  { choose; fault; delay }
+let create ?(choose = fun ~n:_ ~tag:_ ~alts:_ -> 0)
+    ?(fault = fun ~tag:_ -> false) ?(delay = fun ~tag:_ ~max:_ -> 0.0)
+    ?(fired = fun ~seq:_ ~fp:_ -> ()) () =
+  { choose; fault; delay; fired }
 
-let pick c ~n ~tag =
+let pick ?(alts = [||]) c ~n ~tag =
   if n <= 1 then 0
   else begin
-    let k = c.choose ~n ~tag in
+    let k = c.choose ~n ~tag ~alts in
     if k < 0 || k >= n then
       invalid_arg (Printf.sprintf "Choice: %s picked %d of %d" tag k n);
     k
   end
+
+let fired c ~seq ~fp = c.fired ~seq ~fp
 
 let fault c ~tag = c.fault ~tag
 

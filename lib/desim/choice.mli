@@ -14,29 +14,44 @@
     a trail of all-defaults is the same schedule as no controller. *)
 
 type t = {
-  mutable choose : n:int -> tag:string -> int;
-      (** [choose ~n ~tag] picks an alternative in [[0, n)]; 0 is the
-          default (what the uncontrolled simulator would do). *)
+  mutable choose : n:int -> tag:string -> alts:(int * string) array -> int;
+      (** [choose ~n ~tag ~alts] picks an alternative in [[0, n)]; 0 is
+          the default (what the uncontrolled simulator would do).
+          [alts], when non-empty, identifies the alternatives: element
+          [j] is the [(event id, footprint)] of the event that firing
+          alternative [j] would dispatch (engine tie-breaks supply it;
+          opaque choice points pass [[||]]).  Partial-order reduction
+          keys on these ids; strategies that don't may ignore them. *)
   mutable fault : tag:string -> bool;
       (** Fault-injection predicate: [true] makes the tagged point
           misbehave (drop a timer fire, fail a pool refill, …). *)
   mutable delay : tag:string -> max:float -> float;
       (** Extra latency in [[0, max]] injected at the tagged point. *)
+  mutable fired : seq:int -> fp:string -> unit;
+      (** Called by the controlled engine for {e every} dispatched
+          event (tie or not) with the event's id and footprint, before
+          its callback runs.  This is the execution feed a DPOR
+          explorer builds happens-before from.  Default: ignore. *)
 }
 
 (** [create ()] is the identity controller: default choices, no faults,
     no delays.  Override fields directly or via the optional args. *)
 val create :
-  ?choose:(n:int -> tag:string -> int) ->
+  ?choose:(n:int -> tag:string -> alts:(int * string) array -> int) ->
   ?fault:(tag:string -> bool) ->
   ?delay:(tag:string -> max:float -> float) ->
+  ?fired:(seq:int -> fp:string -> unit) ->
   unit ->
   t
 
 (** [pick c ~n ~tag] consults [choose] and range-checks the answer.
     [n <= 1] short-circuits to 0 without consulting the controller.
+    [alts] defaults to [[||]] (opaque choice point).
     @raise Invalid_argument on an out-of-range pick. *)
-val pick : t -> n:int -> tag:string -> int
+val pick : ?alts:(int * string) array -> t -> n:int -> tag:string -> int
+
+(** [fired c ~seq ~fp] invokes the {!field-fired} hook. *)
+val fired : t -> seq:int -> fp:string -> unit
 
 val fault : t -> tag:string -> bool
 

@@ -15,6 +15,15 @@ type t = {
          int-coded events [(ts, code, a, b)] through it without
          depending on the recorder's module; [None] = one option check
          per emit site, nothing recorded *)
+  emeta : (int, string * int) Hashtbl.t;
+      (* event seq -> (footprint, parent seq), recorded at push time
+         only while a controller is installed.  Parent is the event
+         being dispatched when the push happened (-1 for pushes from
+         outside the dispatch loop), giving DPOR the creation order;
+         footprints label which shared state the event's step touches *)
+  mutable cur_seq : int;
+      (* seq of the event currently being dispatched in controlled
+         mode; -1 outside the dispatch loop or when uncontrolled *)
 }
 
 type event = Heap.handle
@@ -33,6 +42,8 @@ let create ?(seed = 42) () =
     quiescence = (fun () -> None);
     controller = None;
     observer = None;
+    emeta = Hashtbl.create 64;
+    cur_seq = -1;
   }
 
 let set_controller t c = t.controller <- c
@@ -47,30 +58,48 @@ let now t = t.clock
 
 let rng t = t.root_rng
 
+let event_footprint t seq =
+  match Hashtbl.find_opt t.emeta seq with Some (fp, _) -> fp | None -> ""
+
+let event_parent t seq =
+  match Hashtbl.find_opt t.emeta seq with Some (_, p) -> p | None -> -1
+
+(* Record push-site metadata for the event just pushed.  One [match] on
+   [None] when uncontrolled — the default dispatch path stays free of
+   the table. *)
+let note t fp =
+  match t.controller with
+  | None -> ()
+  | Some _ -> Hashtbl.replace t.emeta (Heap.last_seq t.heap) (fp, t.cur_seq)
+
 let check_future t time =
   if time < t.clock -. 1e-12 then
     invalid_arg
       (Printf.sprintf "Engine.at: time %g is in the past (now %g)" time t.clock)
 
-let at t time f =
+let at ?(footprint = "") t time f =
   check_future t time;
-  Heap.push_handle t.heap (Float.max time t.clock) f
+  let h = Heap.push_handle t.heap (Float.max time t.clock) f in
+  note t footprint;
+  h
 
-let after t dt f =
+let after ?footprint t dt f =
   if dt < 0.0 then invalid_arg "Engine.after: negative delay";
-  at t (t.clock +. dt) f
+  at ?footprint t (t.clock +. dt) f
 
 (* Fire-and-forget scheduling: no cancellation handle, no per-event
    allocation beyond the closure itself.  This is the fast path for the
    engine's own process machinery and for kernel events that are never
    cancelled (wakeups, spawn bodies, resumptions). *)
-let post t time f =
+let post ?(footprint = "") t time f =
   check_future t time;
-  Heap.push t.heap (Float.max time t.clock) f
+  Heap.push t.heap (Float.max time t.clock) f;
+  note t footprint
 
-let post_after t dt f =
+let post_after ?(footprint = "") t dt f =
   if dt < 0.0 then invalid_arg "Engine.post_after: negative delay";
-  Heap.push t.heap (t.clock +. dt) f
+  Heap.push t.heap (t.clock +. dt) f;
+  note t footprint
 
 let cancel ev = Heap.cancel ev
 
@@ -91,6 +120,7 @@ type _ Effect.t +=
   | Delay : float -> unit Effect.t
   | Block : (('a -> unit) -> unit) -> 'a Effect.t
   | Self : (t * string) Effect.t
+  | SetFp : string -> unit Effect.t
 
 let delay dt = Effect.perform (Delay dt)
 
@@ -102,11 +132,17 @@ let self_name () = snd (Effect.perform Self)
 
 let timestamp () = now (self_engine ())
 
-let spawn t name f =
+let set_footprint fp = Effect.perform (SetFp fp)
+
+let spawn ?(footprint = "") t name f =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   t.live <- t.live + 1;
   Hashtbl.replace t.live_names pid name;
+  (* The process's current footprint: every resumption event it posts
+     (spawn body, delay expiry, block wakeup) is labeled with it, so
+     [Engine.set_footprint] declares what the *next* step touches. *)
+  let fp = ref footprint in
   let finish () =
     t.live <- t.live - 1;
     Hashtbl.remove t.live_names pid
@@ -126,7 +162,7 @@ let spawn t name f =
             | Delay dt ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    post_after t dt (fun () -> continue k ()))
+                    post_after ~footprint:!fp t dt (fun () -> continue k ()))
             | Block register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -139,14 +175,19 @@ let spawn t name f =
                       fired := true;
                       (* Resumption goes through the heap so wakers never
                          run the woken process on their own stack. *)
-                      post_after t 0.0 (fun () -> continue k v)
+                      post_after ~footprint:!fp t 0.0 (fun () -> continue k v)
                     in
                     register resume)
             | Self -> Some (fun (k : (a, unit) continuation) -> continue k (t, name))
+            | SetFp s ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fp := s;
+                    continue k ())
             | _ -> None);
       }
   in
-  post_after t 0.0 body
+  post_after ~footprint t 0.0 body
 
 let overflow t max_events =
   failwith
@@ -154,32 +195,51 @@ let overflow t max_events =
 
 (* Under a schedule controller, a tie of n equal-timestamp events is a
    choice point: the controller picks which fires first instead of the
-   FIFO default. *)
-let pop_controlled c heap =
+   FIFO default.  The controller sees each alternative's (event id,
+   footprint) so a partial-order explorer can key its analysis on event
+   identity; the returned seq is the popped event's id. *)
+let pop_controlled t c heap =
   let n = Heap.tie_count heap in
-  if n <= 1 then Heap.pop heap
-  else Heap.pop_tie heap (Choice.pick c ~n ~tag:"engine.tie")
+  if n <= 1 then begin
+    let seq = Heap.top_seq heap in
+    (seq, Heap.pop heap)
+  end
+  else begin
+    let seqs = Heap.tie_seqs heap in
+    let alts = Array.map (fun s -> (s, event_footprint t s)) seqs in
+    let j = Choice.pick ~alts c ~n ~tag:"engine.tie" in
+    (seqs.(j), Heap.pop_tie heap j)
+  end
 
 (* Dispatch loop.  Cancelled events never surface ([Heap.min_key] skips
    tombstones), so there is no liveness test and — with [min_key]/[pop]
    instead of the option/tuple-returning peek/pop — no allocation per
    dispatched event.  The controller hook is one [match] on [None] per
    event; the controlled arm only runs during schedule exploration. *)
+let dispatch t heap time max_events =
+  match t.controller with
+  | None ->
+      let f = Heap.pop heap in
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      if t.processed > max_events then overflow t max_events;
+      f ()
+  | Some c ->
+      let seq, f = pop_controlled t c heap in
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      if t.processed > max_events then overflow t max_events;
+      t.cur_seq <- seq;
+      Choice.fired c ~seq ~fp:(event_footprint t seq);
+      f ();
+      t.cur_seq <- -1
+
 let run ?until ?(max_events = 50_000_000) t =
   let heap = t.heap in
   (match until with
   | None ->
       while not (Heap.is_empty heap) do
-        let time = Heap.min_key heap in
-        let f =
-          match t.controller with
-          | None -> Heap.pop heap
-          | Some c -> pop_controlled c heap
-        in
-        t.clock <- time;
-        t.processed <- t.processed + 1;
-        if t.processed > max_events then overflow t max_events;
-        f ()
+        dispatch t heap (Heap.min_key heap) max_events
       done
   | Some limit ->
       let stop = ref false in
@@ -189,17 +249,7 @@ let run ?until ?(max_events = 50_000_000) t =
           t.clock <- limit;
           stop := true
         end
-        else begin
-          let f =
-            match t.controller with
-            | None -> Heap.pop heap
-            | Some c -> pop_controlled c heap
-          in
-          t.clock <- time;
-          t.processed <- t.processed + 1;
-          if t.processed > max_events then overflow t max_events;
-          f ()
-        end
+        else dispatch t heap time max_events
       done);
   if Heap.is_empty t.heap && t.live > 0 then
     match t.quiescence () with

@@ -49,19 +49,21 @@ val set_observer : t -> (float -> int -> int -> int -> unit) option -> unit
 val observer : t -> (float -> int -> int -> int -> unit) option
 
 (** [after t dt f] schedules callback [f] to run [dt >= 0] seconds from
-    now.  Callbacks run outside any process context. *)
-val after : t -> float -> (unit -> unit) -> event
+    now.  Callbacks run outside any process context.  [footprint]
+    (default [""]) labels which shared state the callback touches, for
+    partial-order reduction — see {!event_footprint}. *)
+val after : ?footprint:string -> t -> float -> (unit -> unit) -> event
 
 (** [at t time f] schedules [f] at absolute [time >= now]. *)
-val at : t -> float -> (unit -> unit) -> event
+val at : ?footprint:string -> t -> float -> (unit -> unit) -> event
 
 (** [post t time f] schedules [f] at absolute [time >= now] with no
     cancellation handle — the zero-allocation fast path for events that
     are never cancelled (wakeups, resumptions, spawns). *)
-val post : t -> float -> (unit -> unit) -> unit
+val post : ?footprint:string -> t -> float -> (unit -> unit) -> unit
 
 (** [post_after t dt f] is [post] at [dt >= 0] seconds from now. *)
-val post_after : t -> float -> (unit -> unit) -> unit
+val post_after : ?footprint:string -> t -> float -> (unit -> unit) -> unit
 
 (** [cancel ev] prevents a pending event from firing.  Returns [false]
     if it already fired or was cancelled. *)
@@ -72,8 +74,10 @@ val pending : event -> bool
 
 (** [spawn t name f] creates a process running [f ()].  It starts at the
     current time, after already-queued events.  An exception escaping
-    [f] aborts the whole run. *)
-val spawn : t -> string -> (unit -> unit) -> unit
+    [f] aborts the whole run.  [footprint] (default [""]) labels the
+    process's steps for partial-order reduction; change it from inside
+    the process with {!set_footprint}. *)
+val spawn : ?footprint:string -> t -> string -> (unit -> unit) -> unit
 
 (** Number of spawned processes that have not yet returned. *)
 val live_processes : t -> int
@@ -95,6 +99,24 @@ val set_quiescence_check : t -> (unit -> string option) -> unit
 (** Total events processed so far. *)
 val events_processed : t -> int
 
+(** {1 Event metadata — schedule-exploration support}
+
+    While a controller is installed, every pushed event is recorded
+    with a {e footprint} (a comma-separated set of atoms naming the
+    shared state its step touches; [""] = unlabeled) and a {e parent}
+    (the id of the event being dispatched when the push happened, [-1]
+    for pushes from outside the dispatch loop).  Event ids are heap
+    insertion sequence numbers: stable, unique per run, and the same
+    ids the controller sees in [alts] and [fired].  Without a
+    controller nothing is recorded and both accessors return the
+    don't-know value. *)
+
+(** Footprint of event [seq]; [""] if unlabeled or unknown. *)
+val event_footprint : t -> int -> string
+
+(** Parent (creating event) of event [seq]; [-1] if unknown. *)
+val event_parent : t -> int -> int
+
 (** {1 Effects — to be performed from process context only} *)
 
 (** Suspend the current process for [dt] virtual seconds. *)
@@ -114,3 +136,10 @@ val self_name : unit -> string
 
 (** Current virtual time, from process context. *)
 val timestamp : unit -> float
+
+(** [set_footprint fp] relabels the current process: its subsequent
+    resumption events (delay expiries, block wakeups) carry footprint
+    [fp], i.e. it declares what the process's {e next} steps touch.
+    Atoms are comma-separated; two events are treated as dependent by
+    the DPOR explorer iff their footprints share an atom. *)
+val set_footprint : string -> unit

@@ -249,6 +249,28 @@ let pop_min h =
 
 let live hn = hn == no_handle || hn.state = 0
 
+let last_seq h = h.next_seq - 1
+
+let top_seq h =
+  prune_top h;
+  if h.size = 0 then raise Not_found;
+  h.seqs.(0)
+
+let tie_seqs h =
+  prune_top h;
+  if h.size = 0 then [||]
+  else begin
+    let k = h.keys.(0) in
+    let acc = ref [] in
+    for i = h.size - 1 downto 0 do
+      if live (Array.unsafe_get h.hnds i) && Array.unsafe_get h.keys i = k then
+        acc := h.seqs.(i) :: !acc
+    done;
+    let a = Array.of_list !acc in
+    Array.sort compare a;
+    a
+  end
+
 let tie_count h =
   prune_top h;
   if h.size = 0 then 0

@@ -60,6 +60,21 @@ val peek_min : 'a t -> (float * 'a) option
     schedule-exploration path, not the default dispatch loop. *)
 val tie_count : 'a t -> int
 
+(** Sequence number assigned to the most recent {!push} — a stable
+    identity for the element across its heap lifetime (the engine's
+    event id during schedule exploration).  [-1] before any push. *)
+val last_seq : 'a t -> int
+
+(** Sequence number of the minimum live element (the one {!pop} would
+    remove).  @raise Not_found if the heap has no live element. *)
+val top_seq : 'a t -> int
+
+(** [tie_seqs h] lists the sequence numbers of the live minimum-key
+    elements in insertion order, so [tie_seqs h].(j) identifies the
+    element [pop_tie h j] would remove.  O(size) scan, exploration
+    path only.  [[||]] on an empty heap. *)
+val tie_seqs : 'a t -> int array
+
 (** [pop_tie h j] removes and returns the [j]-th (in insertion order,
     0-based) of the live minimum-key elements.  [pop_tie h 0] is {!pop}.
     @raise Not_found on an empty heap.

@@ -79,16 +79,148 @@ let test_pct_depth_zero_is_default () =
     [ "abab"; "abab"; "abab"; "abab"; "abab" ]
     !orders
 
+let scenario name =
+  match Check.Scenarios.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "scenario %S missing from registry" name
+
+(* ------------------------------------------------------------------ *)
+(* DPOR: on a *labeled* variant of the toy, partial-order reduction
+   must reach the same verdicts as plain DFS while exploring strictly
+   fewer schedules.  A's first step and B's second step share footprint
+   "s" (the only dependent pair); every other step touches a private
+   atom.  The 6 interleavings therefore collapse to 2 Mazurkiewicz
+   traces: A1 before B2 (5 interleavings) and B2 before A1 (only
+   "bbaa"). *)
+
+let labeled_toy ?(violating = false) orders env =
+  let order = Buffer.create 4 in
+  let step name = Buffer.add_string order name in
+  Engine.spawn ~footprint:"s" env.Check.eng "A" (fun () ->
+      step "a";
+      Engine.set_footprint "pa";
+      Engine.delay 0.0;
+      step "a");
+  Engine.spawn ~footprint:"pb" env.Check.eng "B" (fun () ->
+      step "b";
+      Engine.set_footprint "s";
+      Engine.delay 0.0;
+      step "b");
+  Check.program
+    ~oracle:(fun () ->
+      let o = Buffer.contents order in
+      orders := o :: !orders;
+      if violating && o = "bbaa" then
+        Check.violate "B overtook A's first step")
+    ()
+
+let test_dpor_explores_fewer_schedules_than_dfs () =
+  let o_dfs = ref [] and o_dpor = ref [] in
+  let dfs = Check.run ~budget:100 ~strategy:Check.Dfs (labeled_toy o_dfs) in
+  let dpor = Check.run ~budget:100 ~strategy:Check.Dpor (labeled_toy o_dpor) in
+  assert_ok "dfs" dfs;
+  assert_ok "dpor" dpor;
+  Alcotest.(check bool) "dfs exhausted" true dfs.Check.exhausted;
+  Alcotest.(check bool) "dpor exhausted" true dpor.Check.exhausted;
+  Alcotest.(check int) "dfs explores all six" 6 dfs.Check.schedules;
+  Alcotest.(check int) "dpor explores one per trace" 2 dpor.Check.schedules;
+  (* The two representatives must come from distinct traces. *)
+  let classes =
+    List.sort_uniq compare (List.map (fun o -> o = "bbaa") !o_dpor)
+  in
+  Alcotest.(check int) "both Mazurkiewicz classes covered" 2
+    (List.length classes)
+
+let test_dpor_finds_the_dfs_violation () =
+  let o1 = ref [] and o2 = ref [] in
+  let dfs =
+    Check.run ~budget:100 ~strategy:Check.Dfs
+      (labeled_toy ~violating:true o1)
+  in
+  let dpor =
+    Check.run ~budget:100 ~strategy:Check.Dpor
+      (labeled_toy ~violating:true o2)
+  in
+  let cd = violation_of "dfs" dfs in
+  let cp = violation_of "dpor" dpor in
+  Alcotest.(check string) "same violation" cd.Check.cx_message
+    cp.Check.cx_message;
+  Alcotest.(check bool) "dpor needed strictly fewer schedules" true
+    (dpor.Check.schedules < dfs.Check.schedules)
+
+(* Three writers on disjoint footprints (two labeled steps each): all
+   90 interleavings are equivalent, so DPOR must run exactly the
+   default schedule and stop — nothing pruned, space exhausted. *)
+let test_dpor_collapses_independent_writers () =
+  let prog env =
+    for p = 0 to 2 do
+      let cell = ref 0 in
+      Engine.spawn
+        ~footprint:(Printf.sprintf "p%d" p)
+        env.Check.eng
+        (Printf.sprintf "W%d" p)
+        (fun () ->
+          incr cell;
+          Engine.delay 0.0;
+          incr cell)
+    done;
+    Check.program ()
+  in
+  let r = Check.run ~budget:100 ~strategy:Check.Dpor prog in
+  assert_ok "independent writers" r;
+  Alcotest.(check bool) "exhausted" true r.Check.exhausted;
+  Alcotest.(check int) "single representative schedule" 1 r.Check.schedules;
+  Alcotest.(check int) "nothing pruned" 0 r.Check.pruned
+
+(* The registry's dpor-writers program has 12 events in 4 processes =
+   12!/(3!)^4 = 369,600 plain interleavings; DPOR must exhaust the
+   space within its committed budget, well under 10% of that. *)
+let test_dpor_writers_scenario_exhausts () =
+  let s = scenario "dpor-writers" in
+  (match s.Check.Scenarios.sstrategy with
+  | Some Check.Dpor -> ()
+  | _ -> Alcotest.fail "dpor-writers must be registered for Dpor");
+  let r =
+    Check.run ~seed:1 ~budget:s.Check.Scenarios.sbudget ~strategy:Check.Dpor
+      s.Check.Scenarios.prog
+  in
+  assert_ok "dpor-writers" r;
+  Alcotest.(check bool) "space exhausted" true r.Check.exhausted;
+  Alcotest.(check bool) "within the committed budget" true
+    (r.Check.schedules <= s.Check.Scenarios.sbudget);
+  Alcotest.(check bool) "at most 10% of the 369,600 plain interleavings"
+    true
+    (r.Check.schedules * 10 <= 369_600)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration: the counterexample must not depend on how many
+   domains scanned the seed space. *)
+
+let test_jobs_determinism () =
+  let s = scenario "racy-flag" in
+  let go jobs =
+    Check.run ~seed:1 ~jobs ~faults:s.Check.Scenarios.sfaults
+      ~budget:s.Check.Scenarios.sbudget ~strategy:Check.Random_walk
+      s.Check.Scenarios.prog
+  in
+  let r1 = go 1 and r4 = go 4 in
+  let c1 = violation_of "jobs=1" r1 in
+  let c4 = violation_of "jobs=4" r4 in
+  Alcotest.(check int) "same failing schedule" c1.Check.cx_schedule
+    c4.Check.cx_schedule;
+  Alcotest.(check string) "same message" c1.Check.cx_message
+    c4.Check.cx_message;
+  Alcotest.(check string) "same shrunk trail"
+    (Check.Trail.signature c1.Check.cx_trail)
+    (Check.Trail.signature c4.Check.cx_trail);
+  Alcotest.(check int) "same schedule count" r1.Check.schedules
+    r4.Check.schedules
+
 (* ------------------------------------------------------------------ *)
 (* Seeded regressions over the scenario registry: the committed budgets
    in Scenarios.all must suffice, the shrunk counterexample must be
    small, and replaying it must deterministically reproduce the same
    violation. *)
-
-let scenario name =
-  match Check.Scenarios.find name with
-  | Some s -> s
-  | None -> Alcotest.failf "scenario %S missing from registry" name
 
 let run_scenario (s : Check.Scenarios.t) =
   Check.run ~seed:1 ~faults:s.Check.Scenarios.sfaults
@@ -154,6 +286,35 @@ let test_pass_scenarios_pass () =
         assert_ok s.Check.Scenarios.sname (run_scenario s))
     Check.Scenarios.all
 
+(* Each seeded broken lock variant must be caught within its committed
+   budget, deterministically (same run twice = same shrunk trail), and
+   replaying the shrunk trail must reproduce the same violation. *)
+let test_lock_regressions_caught () =
+  List.iter
+    (fun (name, needle) ->
+      let s = scenario name in
+      let cx = violation_of name (run_scenario s) in
+      if not (Astring_contains.contains cx.Check.cx_message needle) then
+        Alcotest.failf "%s: %S does not mention %S" name cx.Check.cx_message
+          needle;
+      let cx' = violation_of (name ^ " rerun") (run_scenario s) in
+      Alcotest.(check string) (name ^ ": deterministic message")
+        cx.Check.cx_message cx'.Check.cx_message;
+      Alcotest.(check string) (name ^ ": deterministic shrunk trail")
+        (Check.Trail.signature cx.Check.cx_trail)
+        (Check.Trail.signature cx'.Check.cx_trail);
+      let cxr =
+        violation_of (name ^ " replay")
+          (Check.replay cx s.Check.Scenarios.prog)
+      in
+      Alcotest.(check string) (name ^ ": replay reproduces the violation")
+        cx.Check.cx_message cxr.Check.cx_message)
+    [
+      ("ticket-unfair", "lost wakeup");
+      ("ttas-racy", "mutual exclusion");
+      ("mcs-drop", "deadlock");
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Plumbing: trails, oracles, controller validation. *)
 
@@ -183,10 +344,93 @@ let test_excl_monitor () =
     (fun () -> Check.Excl.enter e)
 
 let test_choice_validates_picks () =
-  let c = Choice.create ~choose:(fun ~n:_ ~tag:_ -> 7) () in
+  let c = Choice.create ~choose:(fun ~n:_ ~tag:_ ~alts:_ -> 7) () in
   Alcotest.check_raises "out-of-range pick rejected"
     (Invalid_argument "Choice: x picked 7 of 3") (fun () ->
       ignore (Choice.pick c ~n:3 ~tag:"x"))
+
+let test_fifo_oracle () =
+  let ok = Check.Fifo.create "q" in
+  Check.Fifo.arrived ok 1;
+  Check.Fifo.arrived ok 2;
+  Check.Fifo.granted ok 1;
+  Check.Fifo.granted ok 2;
+  Check.Fifo.check ok;
+  let bad = Check.Fifo.create "q" in
+  Check.Fifo.arrived bad 1;
+  Check.Fifo.arrived bad 2;
+  Check.Fifo.granted bad 2;
+  Check.Fifo.granted bad 1;
+  match Check.Fifo.check bad with
+  | () -> Alcotest.fail "out-of-order grant not reported"
+  | exception Check.Violation m ->
+      Alcotest.(check bool) "names the fairness break" true
+        (Astring_contains.contains m "FIFO fairness violated")
+
+(* Shrinker cost pins: the replay functions below are synthetic, so the
+   exact number of replays the shrinker spends is deterministic and
+   guards the early-exit paths (phase 2 skipped when nothing is forced;
+   chunk loop stops once a full pass attempts no candidate). *)
+
+let entry picked = { Check.Trail.tag = "engine.tie"; n = 2; picked }
+
+let test_shrink_skips_phase2_when_nothing_forced () =
+  let trail = Array.make 8 (entry 0) in
+  let calls = ref 0 in
+  let replay _ =
+    incr calls;
+    None
+  in
+  let best, _, attempts = Check.shrink ~replay ~max_replays:100 trail "boom" in
+  (* Binary search for the shortest failing prefix costs 3 replays on a
+     length-8 trail; an all-defaults trail must not enter phase 2. *)
+  Alcotest.(check int) "exactly the phase-1 replays" 3 attempts;
+  Alcotest.(check int) "replay called once per attempt" 3 !calls;
+  Alcotest.(check int) "trail kept" 8 (Check.Trail.length best)
+
+let test_shrink_stops_once_zeroed () =
+  let trail = Array.init 8 (fun i -> entry (if i = 0 then 1 else 0)) in
+  (* Prefixes never reproduce; the full-length trail always does. *)
+  let replay cand =
+    if Check.Trail.length cand < 8 then None else Some (cand, "boom")
+  in
+  let best, msg, attempts =
+    Check.shrink ~replay ~max_replays:100 trail "boom"
+  in
+  (* 3 failed prefix probes + 1 successful chunk zeroing; once the
+     trail is all-defaults the remaining chunk sizes attempt nothing
+     and the loop must stop instead of replaying identical trails. *)
+  Alcotest.(check int) "phase-1 + one zeroing replay" 4 attempts;
+  Alcotest.(check int) "fully zeroed" 0 (Check.Trail.forced best);
+  Alcotest.(check string) "message kept" "boom" msg
+
+let test_shrink_worst_case_cost () =
+  let trail = Array.make 8 (entry 1) in
+  let replay _ = None in
+  let _, _, attempts = Check.shrink ~replay ~max_replays:100 trail "boom" in
+  (* 3 prefix probes, then chunk passes at sizes 4 (2), 2 (4), 1 (8):
+     every range holds a forced pick, so every candidate is attempted. *)
+  Alcotest.(check int) "bounded worst case" 17 attempts
+
+let test_registry_names_sorted () =
+  let names = Check.Scenarios.names () in
+  Alcotest.(check (list string)) "names are sorted"
+    (List.sort compare names) names;
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then
+        Alcotest.failf "scenario %S missing from the registry" n)
+    [
+      "ticket-lock";
+      "ticket-unfair";
+      "ttas-lock";
+      "ttas-racy";
+      "mcs-lock";
+      "mcs-drop";
+      "dpor-writers";
+    ];
+  Alcotest.(check int) "lock tag groups the ulock suite" 6
+    (List.length (Check.Scenarios.find_tag "lock"))
 
 let test_run_rejects_bad_budget () =
   Alcotest.check_raises "budget must be positive"
@@ -203,6 +447,15 @@ let suite =
     Alcotest.test_case "random walk stays legal" `Quick test_random_walk_toy;
     Alcotest.test_case "PCT depth 0 is the default schedule" `Quick
       test_pct_depth_zero_is_default;
+    Alcotest.test_case "DPOR explores fewer schedules than DFS" `Quick
+      test_dpor_explores_fewer_schedules_than_dfs;
+    Alcotest.test_case "DPOR finds the DFS violation" `Quick
+      test_dpor_finds_the_dfs_violation;
+    Alcotest.test_case "DPOR collapses independent writers" `Quick
+      test_dpor_collapses_independent_writers;
+    Alcotest.test_case "dpor-writers scenario exhausts" `Quick
+      test_dpor_writers_scenario_exhausts;
+    Alcotest.test_case "jobs=1 and jobs=4 agree" `Quick test_jobs_determinism;
     Alcotest.test_case "deadlock caught and shrunk" `Quick
       test_deadlock_caught_and_shrunk;
     Alcotest.test_case "deadlock replay deterministic" `Quick
@@ -210,8 +463,19 @@ let suite =
     Alcotest.test_case "lost wakeup caught" `Quick test_lost_wakeup_caught;
     Alcotest.test_case "racy flag caught" `Quick test_racy_flag_caught;
     Alcotest.test_case "pass scenarios pass" `Quick test_pass_scenarios_pass;
+    Alcotest.test_case "lock regressions caught" `Quick
+      test_lock_regressions_caught;
     Alcotest.test_case "trail summary" `Quick test_trail_summary;
     Alcotest.test_case "excl monitor" `Quick test_excl_monitor;
+    Alcotest.test_case "fifo oracle" `Quick test_fifo_oracle;
+    Alcotest.test_case "shrink skips phase 2 when nothing forced" `Quick
+      test_shrink_skips_phase2_when_nothing_forced;
+    Alcotest.test_case "shrink stops once zeroed" `Quick
+      test_shrink_stops_once_zeroed;
+    Alcotest.test_case "shrink worst-case cost" `Quick
+      test_shrink_worst_case_cost;
+    Alcotest.test_case "registry names sorted" `Quick
+      test_registry_names_sorted;
     Alcotest.test_case "choice validates picks" `Quick
       test_choice_validates_picks;
     Alcotest.test_case "run rejects bad budget" `Quick
