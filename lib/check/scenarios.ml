@@ -310,6 +310,92 @@ let dpor_writers_prog env =
         privates)
     ()
 
+(* ------------------------------------------------------------------ *)
+(* Sharded-pool overflow: engine-level counterpart of the real fiber
+   runtime's cross-sub-pool overflow steal (lib/fiber/sched.ml).  One
+   pinned "compute" worker drains its own queue under injected
+   preemption ("pool.preempt") and worker stalls ("pool.stall"); two
+   "analysis" workers each drain a private backlog first and
+   overflow-steal from compute only once their own sub-pool is idle
+   (steal-or-defer is a "pool.victim" choice point).  The oracle
+   asserts every compute task runs exactly once — no lost and no
+   duplicated fiber — and that no overflow steal happened while the
+   thief's own sub-pool still had runnable work.
+
+   [unfenced] re-introduces the bug the atomic claim fences off: the
+   thief picks its victim task, then crosses a schedule point before
+   marking it claimed, so two thieves (or a thief and the owner) can
+   both run the same task. *)
+
+let pool_overflow_prog ?(unfenced = false) env =
+  let eng = env.Runner.eng in
+  let n_tasks = 4 in
+  let exec = Array.make n_tasks 0 in
+  let claimed = Array.make n_tasks false in
+  let own = Array.make 2 2 in (* private analysis backlog per thief *)
+  let bad_steal = ref false in
+  let fault tag =
+    match Engine.controller eng with
+    | Some c -> Choice.fault c ~tag
+    | None -> false
+  in
+  let pick ~n tag =
+    match Engine.controller eng with
+    | Some c -> Choice.pick c ~n ~tag
+    | None -> 0
+  in
+  Engine.spawn eng ~footprint:"pool.q" "compute0" (fun () ->
+      for i = 0 to n_tasks - 1 do
+        if fault "pool.stall" then Engine.delay 2e-4;
+        if not claimed.(i) then begin
+          (* Owner's claim is one engine step: atomic by construction. *)
+          claimed.(i) <- true;
+          exec.(i) <- exec.(i) + 1
+        end;
+        if fault "pool.preempt" then Engine.delay 0.0;
+        Engine.delay 1e-4
+      done);
+  let oldest_unclaimed () =
+    let r = ref (-1) in
+    for i = n_tasks - 1 downto 0 do
+      if not claimed.(i) then r := i
+    done;
+    !r
+  in
+  for w = 0 to 1 do
+    Engine.spawn eng ~footprint:"pool.q"
+      (Printf.sprintf "analysis%d" w)
+      (fun () ->
+        for _poll = 1 to 12 do
+          if own.(w) > 0 then
+            (* Own sub-pool busy: serve it; overflow is not allowed. *)
+            own.(w) <- own.(w) - 1
+          else begin
+            match oldest_unclaimed () with
+            | -1 -> ()
+            | _ when pick ~n:2 "pool.victim" = 1 -> () (* defer the steal *)
+            | i ->
+                if own.(w) > 0 then bad_steal := true;
+                if unfenced then Engine.delay 0.0;
+                (* ^ buggy variant: victim chosen, claim not yet marked *)
+                claimed.(i) <- true;
+                exec.(i) <- exec.(i) + 1
+          end;
+          Engine.delay 1e-4
+        done)
+  done;
+  Runner.program
+    ~oracle:(fun () ->
+      Array.iteri
+        (fun i n ->
+          Runner.require (n = 1)
+            "pool-overflow: task %d executed %d time(s), expected exactly 1"
+            i n)
+        exec;
+      Runner.require (not !bad_steal)
+        "pool-overflow: overflow steal while own sub-pool had runnable work")
+    ()
+
 let all =
   [
     {
@@ -432,6 +518,28 @@ let all =
       sexhaust = false;
       stags = [ "lock" ];
       prog = mcs_prog ~drop_handoff:true;
+    };
+    {
+      sname = "pool-overflow";
+      sdesc = "sub-pool overflow: atomic claim keeps every fiber exactly-once";
+      expect = Pass;
+      sfaults = true;
+      sbudget = 80;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "pool" ];
+      prog = pool_overflow_prog ?unfenced:None;
+    };
+    {
+      sname = "pool-overflow-unfenced";
+      sdesc = "split overflow claim double-runs a fiber taken by two thieves";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 40;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "pool" ];
+      prog = pool_overflow_prog ~unfenced:true;
     };
     {
       sname = "dpor-writers";

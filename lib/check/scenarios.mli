@@ -7,7 +7,13 @@
     correct ticket / TTAS / MCS locks that must pass the exclusion,
     FIFO-fairness, liveness and lost-wakeup oracles under preemption
     and fault injection, plus seeded broken variants (unfair ticket,
-    racy TTAS, handoff-dropping MCS) the checker must catch. *)
+    racy TTAS, handoff-dropping MCS) the checker must catch.
+
+    The ["pool"] tag ([@pool-smoke]) groups the engine-level model of
+    the real fiber runtime's cross-sub-pool overflow steal
+    (lib/fiber/sched.ml): the fenced protocol must keep every fiber
+    exactly-once under preemption and worker-stall faults, and the
+    unfenced-claim variant must be caught double-running a task. *)
 
 type expect = Pass | Fail
 

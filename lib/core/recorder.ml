@@ -54,6 +54,11 @@ let ev_klt_dispatch = 20 (* a = klt id, b = core *)
 
 let ev_klt_block = 21 (* a = klt id *)
 
+let ev_pool_steal = 22
+(* a = thief sub-pool id, b = victim sub-pool id.  Emitted by the real
+   fiber runtime (lib/fiber) on every successful steal: [a = b] is a
+   same-sub-pool steal, [a <> b] a cross-sub-pool overflow steal. *)
+
 let code_name = function
   | 1 -> "spawn"
   | 2 -> "ready"
@@ -76,6 +81,7 @@ let code_name = function
   | 19 -> "futex-wake"
   | 20 -> "klt-dispatch"
   | 21 -> "klt-block"
+  | 22 -> "pool-steal"
   | c -> Printf.sprintf "code%d" c
 
 (* ------------------------------------------------------------------ *)

@@ -87,6 +87,11 @@ val ev_klt_dispatch : int
 val ev_klt_block : int
 (** Kernel: KLT blocked, releasing its core ([a] = klt id). *)
 
+val ev_pool_steal : int
+(** Real fiber runtime: successful steal attributed to sub-pools
+    ([a] = thief sub-pool id, [b] = victim sub-pool id; [a = b] is a
+    same-sub-pool steal, [a <> b] cross-sub-pool overflow). *)
+
 val code_name : int -> string
 (** Short stable name of an event code (["spawn"], ["preempt-req"], …). *)
 

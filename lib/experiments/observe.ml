@@ -66,6 +66,18 @@ type consistency = {
           is <= 1 *)
 }
 
+(* Sub-pool steal attribution (real fiber runtime dumps): every
+   successful steal is an [ev_pool_steal] with (thief sub-pool, victim
+   sub-pool), so local steals and cross-sub-pool overflow separate by
+   whether the two ids agree. *)
+type steal_split = {
+  ss_local : int;  (** same-sub-pool steals (thief = victim) *)
+  ss_overflow : int;  (** cross-sub-pool overflow steals *)
+  ss_pairs : (int * int * int) list;
+      (** overflow breakdown: (thief sub-pool, victim sub-pool, count),
+          sorted *)
+}
+
 type report = {
   r_events : Recorder.event array;
   r_emitted : int;
@@ -76,6 +88,9 @@ type report = {
   r_rows : row list;  (** chains grouped by preempted uid *)
   r_anomalies : Recorder.anomaly list;
   r_consistency : consistency option;  (** [None] without live metrics *)
+  r_steals : steal_split option;
+      (** [None] when the record carries no pool-steal events (the
+          simulated runtime never emits them) *)
 }
 
 let rows_of_chains chains =
@@ -129,6 +144,30 @@ let consistency_of chains (m : Metrics.snapshot) =
       }
   end
 
+let steal_split_of events =
+  let local = ref 0 in
+  let pairs = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : Recorder.event) ->
+      if e.Recorder.e_code = Recorder.ev_pool_steal then
+        if e.Recorder.e_a = e.Recorder.e_b then incr local
+        else
+          let key = (e.Recorder.e_a, e.Recorder.e_b) in
+          Hashtbl.replace pairs key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt pairs key)))
+    events;
+  let overflow = Hashtbl.fold (fun _ n acc -> acc + n) pairs 0 in
+  if !local = 0 && overflow = 0 then None
+  else
+    Some
+      {
+        ss_local = !local;
+        ss_overflow = overflow;
+        ss_pairs =
+          Hashtbl.fold (fun (t, v) n acc -> (t, v, n) :: acc) pairs []
+          |> List.sort compare;
+      }
+
 let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
   let chains, never = Recorder.attribute ~n_workers events in
   let timing = Recorder.detect_anomalies ~n_workers ~interval events in
@@ -142,6 +181,7 @@ let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
     r_rows = rows_of_chains chains;
     r_anomalies = never @ timing;
     r_consistency = Option.bind metrics (consistency_of chains);
+    r_steals = steal_split_of events;
   }
 
 let of_runtime rt =
@@ -207,6 +247,17 @@ let print_text r =
         | 0 -> "same bucket"
         | 1 -> "adjacent buckets"
         | d -> Printf.sprintf "%d buckets apart" d));
+  (match r.r_steals with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "\nsub-pool steal attribution: %d local, %d cross-pool overflow\n"
+        s.ss_local s.ss_overflow;
+      List.iter
+        (fun (thief, victim, n) ->
+          Printf.printf "  sub-pool %d stole %d task(s) from sub-pool %d\n"
+            thief n victim)
+        s.ss_pairs);
   Printf.printf "\nanomalies: %s\n"
     (if r.r_anomalies = [] then "none"
      else
@@ -281,6 +332,19 @@ let to_json r =
            ",\"consistency\":{\"chains\":%d,\"samples\":%d,\"chain_p50\":%s,\"hist_p50\":%s,\"bucket_distance\":%d}"
            c.cs_chains c.cs_samples (jf c.cs_chain_p50) (jf c.cs_hist_p50)
            c.cs_bucket_distance));
+  (match r.r_steals with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"steals\":{\"local\":%d,\"overflow\":%d,\"pairs\":[%s]}"
+           s.ss_local s.ss_overflow
+           (String.concat ","
+              (List.map
+                 (fun (t, v, n) ->
+                   Printf.sprintf
+                     "{\"thief\":%d,\"victim\":%d,\"count\":%d}" t v n)
+                 s.ss_pairs))));
   Buffer.add_string b "}\n";
   Buffer.contents b
 

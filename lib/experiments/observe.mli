@@ -36,6 +36,19 @@ type consistency = {
       (** |bucket(chain p50) - bucket(hist p50)|; acceptance bound 1 *)
 }
 
+(** Sub-pool steal attribution, reconstructed from
+    [Recorder.ev_pool_steal] events in dumps saved by the real fiber
+    runtime ([Fiber] with [Config.recorder]).  Each event carries
+    (thief sub-pool, victim sub-pool): equal ids are same-sub-pool
+    (local) steals, differing ids are cross-sub-pool overflow. *)
+type steal_split = {
+  ss_local : int;  (** same-sub-pool steals (thief = victim) *)
+  ss_overflow : int;  (** cross-sub-pool overflow steals *)
+  ss_pairs : (int * int * int) list;
+      (** overflow breakdown: (thief sub-pool, victim sub-pool, count),
+          sorted *)
+}
+
 type report = {
   r_events : Preempt_core.Recorder.event array;
   r_emitted : int;  (** events emitted over the recorder's lifetime *)
@@ -46,6 +59,9 @@ type report = {
   r_rows : row list;  (** chains grouped by preempted uid *)
   r_anomalies : Preempt_core.Recorder.anomaly list;
   r_consistency : consistency option;  (** [None] without live metrics *)
+  r_steals : steal_split option;
+      (** [None] when the record carries no pool-steal events (the
+          simulated runtime never emits them) *)
 }
 
 val of_runtime : Preempt_core.Runtime.t -> report

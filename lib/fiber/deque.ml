@@ -188,8 +188,18 @@ let rec steal t =
 
 (* Racy snapshot: [top] may advance and the segment may churn between
    the reads, so concurrent callers get an approximation — good enough
-   for victim selection.  Sequentially (owner-only) it is exact. *)
+   for victim selection.  Sequentially (owner-only) it is exact.
+
+   The ring term can be transiently negative under concurrency and must
+   be clamped before it is combined with the segment count: the owner's
+   [pop] briefly holds [bottom = top - 1] on the race-to-empty path, and
+   a thief's CAS can advance [top] between our two index reads — either
+   way a raw [bottom - top] would drag the total below the (always
+   non-negative) segment contribution, and callers that sum snapshots
+   across deques (sub-pool idleness heuristics) would see phantom
+   negative backlogs.  test_deque_model and fiber_smoke's concurrent
+   sampler pin [length >= 0]. *)
 let length t =
   let s = Atomic.get t.front in
   let ring = Atomic.get t.bottom - Atomic.get t.top in
-  (if ring > 0 then ring else 0) + s.slen
+  Stdlib.max 0 ring + s.slen

@@ -7,7 +7,13 @@
    while holding it would invert the lock order with the pool's park
    path), and always in FIFO registration order: Mutex/Semaphore/Channel
    keep their waiters in a [Queue], Barrier releases its accumulated
-   list oldest-arrival-first.  test_fsync.ml pins the FIFO order. *)
+   list oldest-arrival-first.  test_fsync.ml pins the FIFO order.
+
+   Sub-pool pinning: a wake closure re-queues the blocked fiber on the
+   fiber's *home* sub-pool (Sched's Suspend/Suspend_or handlers capture
+   it), not on the waker's.  A mutex shared across sub-pools therefore
+   never migrates fibers between them — an "analysis" fiber woken by a
+   "compute" fiber goes back to the analysis sub-pool's scheduler. *)
 
 module Mutex = struct
   type t = {

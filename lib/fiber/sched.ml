@@ -1,5 +1,3 @@
-type task = unit -> unit
-
 (* Worker records are written from two sides: the owner bumps
    [rng_state] on every steal probe while the ticker thread sets
    [preempt] once per interval.  Both get their own cache-line
@@ -11,9 +9,16 @@ type task = unit -> unit
    drop it and re-pack the atomics). *)
 type worker = {
   wid : int;
-  deque : task Deque.t;
+  w_sp : int; (* owning sub-pool id *)
+  w_slot : int; (* index within the sub-pool's scheduler *)
   preempt : bool Atomic.t; (* set by the ticker, cleared at safe points *)
   mutable rng_state : int;
+  (* Owner-written counters, aggregated racily by [stats] (stale reads
+     are fine for diagnostics); keeping them plain avoids shared-atomic
+     traffic on the spawn/steal fast paths. *)
+  mutable w_spawned : int;
+  mutable w_local_steals : int;
+  mutable w_overflow_in : int;
   pad_keep : int array;
   mutable pad0 : int;
   mutable pad1 : int;
@@ -21,17 +26,36 @@ type worker = {
   mutable pad3 : int;
 }
 
+(* A named sub-pool: a worker subset with its own scheduler instance
+   and its own park group.  Parking is per-sub-pool so a push can wake
+   a worker that will actually serve it: a member first, else (via
+   [notify_push]'s second branch) an overflow-capable sleeper from
+   another sub-pool. *)
+type subpool = {
+  sp_id : int;
+  sp_name : string;
+  sp_overflow : bool; (* members may steal cross-sub-pool when idle *)
+  sp_members : int array; (* global worker ids, slot order *)
+  inst : Scheduler.instance;
+  sp_lock : Mutex.t; (* held only to park and to signal sleepers *)
+  sp_cond : Condition.t;
+  sp_epoch : int Atomic.t; (* bumped on every push: lost-wakeup guard *)
+  sp_sleepers : int Atomic.t; (* members inside the parking protocol *)
+  sp_ext_spawned : int Atomic.t; (* targeted/external submissions *)
+  sp_stolen_away : int Atomic.t; (* tasks overflow-stolen from here *)
+}
+
 type pool = {
   workers : worker array;
+  subpools : subpool array;
   mutable doms : unit Domain.t list;
-  park_lock : Mutex.t; (* held only to park and to signal sleepers *)
-  cond : Condition.t;
-  epoch : int Atomic.t; (* bumped on every push: lost-wakeup guard *)
-  n_sleepers : int Atomic.t; (* workers inside the parking protocol *)
+  total_sleepers : int Atomic.t; (* sum of all sp_sleepers *)
   shutdown : bool Atomic.t;
   preempt_interval : float option;
   mutable ticker : Thread.t option;
   preempt_count : int Atomic.t;
+  recorder : Preempt_core.Recorder.t;
+  rec_t0 : float; (* wall-clock origin of recorder timestamps *)
 }
 
 (* Promise state machine: one atomic word, CAS [Pending -> Resolved /
@@ -62,49 +86,80 @@ let self () =
 (* ------------------------------------------------------------------ *)
 (* Wakeups.
 
-   Pushers never broadcast.  The protocol against lost wakeups:
+   Pushers never broadcast.  Per sub-pool, the protocol against lost
+   wakeups is the one the flat pool used:
 
-     pusher:  deque push; incr epoch; if n_sleepers > 0 then
+     pusher:  scheduler push; incr sp_epoch; if sp_sleepers > 0 then
               lock; signal; unlock
-     sleeper: incr n_sleepers; e := epoch; full find_task sweep;
-              if still empty: lock; if epoch = e then wait; unlock;
-              decr n_sleepers
+     sleeper: incr sp_sleepers (and the pool total); e := sp_epoch;
+              full find_task sweep; if still empty: lock; if sp_epoch =
+              e then wait; unlock; decr both
 
    All counters are SC atomics, so either the pusher observes the
-   sleeper's [n_sleepers] increment (and signals under the lock the
-   sleeper waits on), or the sleeper's subsequent reads observe the
-   pusher's epoch bump — the under-lock [epoch = e] re-check then fails
-   and the sleeper retries instead of sleeping.  Either way a push
-   cannot slip between a failed sweep and [Condition.wait].  Workers
-   with no sleepers in sight pay one atomic increment and one atomic
-   load per push — no mutex, no condvar. *)
+   sleeper's [sp_sleepers] increment (and signals under the lock the
+   sleeper waits on), or the sleeper's subsequent sweep observes the
+   pusher's push — the under-lock [sp_epoch = e] re-check then fails and
+   the sleeper retries instead of sleeping.
 
-let notify_one pool =
-  Atomic.incr pool.epoch;
-  if Atomic.get pool.n_sleepers > 0 then begin
-    Mutex.lock pool.park_lock;
-    Condition.signal pool.cond;
-    Mutex.unlock pool.park_lock
+   The sub-pool twist: when the target sub-pool has no sleeper of its
+   own (all members busy) but somebody is parked elsewhere, the pusher
+   wakes one overflow-capable sleeper from another sub-pool — its
+   re-sweep reaches the task through the cross-sub-pool overflow path.
+   That sleeper's own epoch is bumped first so the wake cannot be lost
+   to its park-time re-check.  Pools with no sleepers anywhere pay one
+   atomic increment and two atomic loads per push — no mutex, no
+   condvar. *)
+
+let signal_sp sp =
+  Mutex.lock sp.sp_lock;
+  Condition.signal sp.sp_cond;
+  Mutex.unlock sp.sp_lock
+
+let notify_push pool sp =
+  Atomic.incr sp.sp_epoch;
+  if Atomic.get sp.sp_sleepers > 0 then signal_sp sp
+  else if Atomic.get pool.total_sleepers > 0 then begin
+    let sps = pool.subpools in
+    let k = Array.length sps in
+    let rec wake_other i =
+      if i < k then
+        let q = sps.(i) in
+        if q.sp_id <> sp.sp_id && q.sp_overflow && Atomic.get q.sp_sleepers > 0
+        then begin
+          Atomic.incr q.sp_epoch;
+          signal_sp q
+        end
+        else wake_other (i + 1)
+    in
+    wake_other 0
   end
 
 (* Broadcast: only for state visible to *every* worker — shutdown and
    run-completion ([until] flipping), where one targeted signal could
    wake the wrong sleeper and strand the one whose predicate changed. *)
 let notify_all pool =
-  Atomic.incr pool.epoch;
-  Mutex.lock pool.park_lock;
-  Condition.broadcast pool.cond;
-  Mutex.unlock pool.park_lock
+  Array.iter
+    (fun sp ->
+      Atomic.incr sp.sp_epoch;
+      Mutex.lock sp.sp_lock;
+      Condition.broadcast sp.sp_cond;
+      Mutex.unlock sp.sp_lock)
+    pool.subpools
 
-let push_task pool w task =
-  Deque.push w.deque task;
-  notify_one pool
-
-(* A yielded fiber goes to the thief end: the owner (who pops LIFO)
-   runs every other local task first, so yield actually gives way. *)
-let push_task_yield pool w task =
-  Deque.push_front w.deque task;
-  notify_one pool
+(* Re-queue a task belonging to sub-pool [sp] (yield re-queues, wakes
+   after suspension).  Fibers are pinned: no matter which worker runs
+   the wake — an overflow thief, a sibling sub-pool's member resolving
+   a promise, a non-worker thread — the fiber goes back to its home
+   sub-pool, on the fast path when the current worker is a member. *)
+let requeue pool sp ~prio ~front task =
+  (match Domain.DLS.get current_worker with
+  | Some (_, w) when w.w_sp = sp.sp_id ->
+      if front then sp.inst.i_push_front ~slot:w.w_slot ~prio task
+      else sp.inst.i_push ~slot:w.w_slot ~prio task
+  | _ ->
+      if front then sp.inst.i_push_front ~slot:(-1) ~prio task
+      else sp.inst.i_push ~slot:(-1) ~prio task);
+  notify_push pool sp
 
 (* Cheap xorshift for victim selection. *)
 let next_rand w =
@@ -115,36 +170,53 @@ let next_rand w =
   w.rng_state <- x land max_int;
   w.rng_state
 
-let find_task pool w =
-  match Deque.pop w.deque with
-  | Some t -> Some t
-  | None ->
-      let n = Array.length pool.workers in
-      let rec probe k =
-        if k = 0 then None
-        else
-          let v = next_rand w mod n in
-          if v = w.wid then probe (k - 1)
-          else
-            match Deque.steal pool.workers.(v).deque with
-            | Some t -> Some t
-            | None -> probe (k - 1)
-      in
-      (match probe (2 * n) with
-      | Some t -> Some t
-      | None ->
-          (* Deterministic sweep so no task is missed. *)
-          let rec sweep i =
-            if i = n then None
-            else if i = w.wid then sweep (i + 1)
-            else
-              match Deque.steal pool.workers.(i).deque with
-              | Some t -> Some t
-              | None -> sweep (i + 1)
-          in
-          sweep 0)
+let record_steal pool w ~thief ~victim =
+  let r = pool.recorder in
+  if Preempt_core.Recorder.enabled r then
+    Preempt_core.Recorder.emit r w.wid
+      (Unix.gettimeofday () -. pool.rec_t0)
+      Preempt_core.Recorder.ev_pool_steal thief victim
 
-let handler pool =
+(* The steal protocol: own sub-pool first (pop, then same-sub-pool
+   steal); only a member whose own sub-pool had nothing runnable
+   overflows cross-sub-pool — and only if its sub-pool allows it.
+   Every successful steal is attributed: per-worker counters always,
+   an [ev_pool_steal] (thief sub-pool, victim sub-pool) flight event
+   when the recorder is armed. *)
+let find_task pool w =
+  let sp = pool.subpools.(w.w_sp) in
+  match sp.inst.i_pop ~slot:w.w_slot with
+  | Some _ as r -> r
+  | None -> (
+      let rng () = next_rand w in
+      match sp.inst.i_steal ~slot:w.w_slot ~rng with
+      | Some _ as r ->
+          w.w_local_steals <- w.w_local_steals + 1;
+          record_steal pool w ~thief:sp.sp_id ~victim:sp.sp_id;
+          r
+      | None ->
+          let k = Array.length pool.subpools in
+          if k > 1 && sp.sp_overflow then begin
+            let start = next_rand w mod k in
+            let rec overflow i =
+              if i = k then None
+              else
+                let v = pool.subpools.((start + i) mod k) in
+                if v.sp_id = sp.sp_id then overflow (i + 1)
+                else
+                  match v.inst.i_steal ~slot:(-1) ~rng with
+                  | Some _ as r ->
+                      w.w_overflow_in <- w.w_overflow_in + 1;
+                      Atomic.incr v.sp_stolen_away;
+                      record_steal pool w ~thief:sp.sp_id ~victim:v.sp_id;
+                      r
+                  | None -> overflow (i + 1)
+            in
+            overflow 0
+          end
+          else None)
+
+let handler pool sp ~prio =
   let open Effect.Deep in
   {
     retc = (fun () -> ());
@@ -155,20 +227,20 @@ let handler pool =
         | Yield ->
             Some
               (fun (k : (a, unit) continuation) ->
-                let _, w = self () in
-                push_task_yield pool w (fun () -> continue k ()))
+                (* Front of the home scheduler: the owner runs every
+                   other local task first, so yield actually gives
+                   way. *)
+                requeue pool sp ~prio ~front:true (fun () -> continue k ()))
         | Suspend register ->
             Some
               (fun (k : (a, unit) continuation) ->
                 register (fun () ->
-                    let _, w = self () in
-                    push_task pool w (fun () -> continue k ())))
+                    requeue pool sp ~prio ~front:false (fun () -> continue k ())))
         | Suspend_or decide ->
             Some
               (fun (k : (a, unit) continuation) ->
                 let wake () =
-                  let _, w = self () in
-                  push_task pool w (fun () -> continue k ())
+                  requeue pool sp ~prio ~front:false (fun () -> continue k ())
                 in
                 match decide wake with
                 | `Continue -> continue k ()
@@ -176,7 +248,8 @@ let handler pool =
         | _ -> None);
   }
 
-let make_fiber pool body = fun () -> Effect.Deep.match_with body () (handler pool)
+let make_fiber pool sp ~prio body =
+ fun () -> Effect.Deep.match_with body () (handler pool sp ~prio)
 
 (* ------------------------------------------------------------------ *)
 (* Promises. *)
@@ -196,17 +269,51 @@ let rec resolve p outcome =
 let is_resolved p =
   match Atomic.get p with Pending _ -> false | Resolved _ | Failed _ -> true
 
-let spawn body =
-  let pool, w = self () in
+let find_sp pool name =
+  let sps = pool.subpools in
+  let rec go i =
+    if i = Array.length sps then
+      invalid_arg (Printf.sprintf "Fiber: unknown sub-pool %S" name)
+    else if sps.(i).sp_name = name then sps.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let spawn_in pool sp ~prio ~slot body =
   let p = promise () in
   let fiber =
-    make_fiber pool (fun () ->
+    make_fiber pool sp ~prio (fun () ->
         match body () with
         | v -> resolve p (Resolved v)
         | exception e -> resolve p (Failed e))
   in
-  push_task pool w fiber;
+  if slot >= 0 then sp.inst.i_push ~slot ~prio fiber
+  else begin
+    sp.inst.i_push ~slot:(-1) ~prio fiber;
+    Atomic.incr sp.sp_ext_spawned
+  end;
+  notify_push pool sp;
   p
+
+let spawn ?pool:target ?(prio = 0) body =
+  let pool, w = self () in
+  match target with
+  | None ->
+      (* Classic fork: a LIFO child of the calling worker, inside the
+         caller's own sub-pool. *)
+      let sp = pool.subpools.(w.w_sp) in
+      w.w_spawned <- w.w_spawned + 1;
+      spawn_in pool sp ~prio ~slot:w.w_slot body
+  | Some name ->
+      (* Targeted spawn: a submission to the named sub-pool as a whole.
+         It takes the external path even when the caller is a member,
+         so it is served like any other incoming request rather than as
+         the caller's LIFO child. *)
+      spawn_in pool (find_sp pool name) ~prio ~slot:(-1) body
+
+let submit p ?pool:target ?(prio = 0) body =
+  let sp = match target with Some name -> find_sp p name | None -> p.subpools.(0) in
+  spawn_in p sp ~prio ~slot:(-1) body
 
 let await p =
   let rec value () =
@@ -247,7 +354,7 @@ let check () =
 
 (* Spin-then-park: a worker that found nothing re-probes a few times
    with exponentially growing [cpu_relax] backoff before touching the
-   pool mutex.  Short idle gaps (the common case in fork–join churn)
+   sub-pool mutex.  Short idle gaps (the common case in fork–join churn)
    resolve without a futex round-trip; persistent idleness parks. *)
 let spin_rounds = 8
 
@@ -259,6 +366,7 @@ let backoff round =
 
 let worker_loop pool w ~until =
   Domain.DLS.set current_worker (Some (pool, w));
+  let sp = pool.subpools.(w.w_sp) in
   let stop () = until () || Atomic.get pool.shutdown in
   (* Returns [None] only when [stop] was observed. *)
   let rec next_task round =
@@ -273,20 +381,25 @@ let worker_loop pool w ~until =
           end
           else park ()
   and park () =
-    Atomic.incr pool.n_sleepers;
-    let e = Atomic.get pool.epoch in
+    Atomic.incr sp.sp_sleepers;
+    Atomic.incr pool.total_sleepers;
+    let e = Atomic.get sp.sp_epoch in
     (* Re-sweep after announcing: a pusher that missed our increment
-       must have bumped [epoch] first, failing the re-check below. *)
+       must have bumped [sp_epoch] first, failing the re-check below.
+       The sweep includes the overflow path, so a member only parks
+       when no task it may legally take exists anywhere. *)
     match find_task pool w with
     | Some _ as r ->
-        Atomic.decr pool.n_sleepers;
+        Atomic.decr sp.sp_sleepers;
+        Atomic.decr pool.total_sleepers;
         r
     | None ->
-        Mutex.lock pool.park_lock;
-        if Atomic.get pool.epoch = e && not (stop ()) then
-          Condition.wait pool.cond pool.park_lock;
-        Mutex.unlock pool.park_lock;
-        Atomic.decr pool.n_sleepers;
+        Mutex.lock sp.sp_lock;
+        if Atomic.get sp.sp_epoch = e && not (stop ()) then
+          Condition.wait sp.sp_cond sp.sp_lock;
+        Mutex.unlock sp.sp_lock;
+        Atomic.decr sp.sp_sleepers;
+        Atomic.decr pool.total_sleepers;
         next_task 0
   in
   let rec loop () =
@@ -307,55 +420,141 @@ let ticker_loop pool interval =
     Array.iter (fun w -> Atomic.set w.preempt true) pool.workers
   done
 
-let create ?domains ?preempt_interval () =
-  let n =
-    match domains with
-    | Some d when d >= 1 -> d
-    | Some _ -> invalid_arg "Fiber.create: domains < 1"
-    | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+let make (cfg : Config.t) =
+  (* [Config.make] already validated; re-validate so hand-built records
+     go through the same gate. *)
+  Config.validate cfg;
+  let n = cfg.Config.domains in
+  let sp_of = Array.make n (-1) in
+  let slot_of = Array.make n (-1) in
+  let subpools =
+    Array.mapi
+      (fun id (s : Config.subpool) ->
+        let members = Array.of_list (List.sort_uniq compare s.Config.sp_workers) in
+        Array.iteri
+          (fun slot wid ->
+            sp_of.(wid) <- id;
+            slot_of.(wid) <- slot)
+          members;
+        {
+          sp_id = id;
+          sp_name = s.Config.sp_name;
+          sp_overflow = s.Config.sp_overflow;
+          sp_members = members;
+          inst = Scheduler.instantiate s.Config.sp_sched ~slots:(Array.length members);
+          sp_lock = Mutex.create ();
+          sp_cond = Condition.create ();
+          sp_epoch = Atomic.make 0;
+          sp_sleepers = Atomic.make 0;
+          sp_ext_spawned = Atomic.make 0;
+          sp_stolen_away = Atomic.make 0;
+        })
+      (Array.of_list cfg.Config.subpools)
   in
   let workers =
     Array.init n (fun wid ->
         {
           wid;
-          deque = Deque.create ();
+          w_sp = sp_of.(wid);
+          w_slot = slot_of.(wid);
           preempt = Atomic.make false;
           (* Live spacer between consecutive [preempt] atomics; see the
              [worker] comment. *)
           pad_keep = Array.make 8 0;
           rng_state = (wid * 7919) + 13;
+          w_spawned = 0;
+          w_local_steals = 0;
+          w_overflow_in = 0;
           pad0 = 0;
           pad1 = 0;
           pad2 = 0;
           pad3 = 0;
         })
   in
+  let recorder =
+    (* A disabled recorder keeps only a token ring so pools without
+       observability pay no memory for it. *)
+    let capacity =
+      if cfg.Config.recorder_enabled then cfg.Config.recorder_capacity else 16
+    in
+    let r = Preempt_core.Recorder.create ~n_workers:n ~capacity in
+    Preempt_core.Recorder.set_enabled r cfg.Config.recorder_enabled;
+    r
+  in
   let pool =
     {
       workers;
+      subpools;
       doms = [];
-      park_lock = Mutex.create ();
-      cond = Condition.create ();
-      epoch = Atomic.make 0;
-      n_sleepers = Atomic.make 0;
+      total_sleepers = Atomic.make 0;
       shutdown = Atomic.make false;
-      preempt_interval;
+      preempt_interval = cfg.Config.preempt_interval;
       ticker = None;
       preempt_count = Atomic.make 0;
+      recorder;
+      rec_t0 = Unix.gettimeofday ();
     }
   in
   (* Worker 0 is the caller inside [run]; spawn domains for the rest. *)
   pool.doms <-
-    List.init (n - 1) (fun i -> Domain.spawn (fun () -> domain_main pool workers.(i + 1)));
-  (match preempt_interval with
-  | Some dt when dt > 0.0 -> pool.ticker <- Some (Thread.create (fun () -> ticker_loop pool dt) ())
-  | Some _ -> invalid_arg "Fiber.create: preempt_interval <= 0"
+    List.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> domain_main pool workers.(i + 1)));
+  (match cfg.Config.preempt_interval with
+  | Some dt -> pool.ticker <- Some (Thread.create (fun () -> ticker_loop pool dt) ())
   | None -> ());
   pool
 
+(* Deprecated single-pool shim: one "default" sub-pool spanning every
+   worker under the work-stealing scheduler — exactly the historical
+   flat pool.  New code should build a [Config.t]. *)
+let create ?domains ?preempt_interval () =
+  make (Config.make ?domains ?preempt_interval ())
+
 let domains pool = Array.length pool.workers
 
+let subpools pool =
+  Array.to_list (Array.map (fun sp -> sp.sp_name) pool.subpools)
+
 let preemptions pool = Atomic.get pool.preempt_count
+
+let recorder pool = pool.recorder
+
+type subpool_stats = {
+  st_name : string;
+  st_sched : string;
+  st_workers : int;
+  st_spawned : int;
+  st_local_steals : int;
+  st_overflow_in : int;
+  st_overflow_out : int;
+  st_pending : int;
+}
+
+let stats pool =
+  Array.to_list
+    (Array.map
+       (fun sp ->
+         let spawned = ref (Atomic.get sp.sp_ext_spawned) in
+         let local = ref 0 in
+         let ovin = ref 0 in
+         Array.iter
+           (fun wid ->
+             let w = pool.workers.(wid) in
+             spawned := !spawned + w.w_spawned;
+             local := !local + w.w_local_steals;
+             ovin := !ovin + w.w_overflow_in)
+           sp.sp_members;
+         {
+           st_name = sp.sp_name;
+           st_sched = sp.inst.i_name;
+           st_workers = Array.length sp.sp_members;
+           st_spawned = !spawned;
+           st_local_steals = !local;
+           st_overflow_in = !ovin;
+           st_overflow_out = Atomic.get sp.sp_stolen_away;
+           st_pending = sp.inst.i_length ();
+         })
+       pool.subpools)
 
 let run pool main =
   if Atomic.get pool.shutdown then invalid_arg "Fiber.run: pool is shut down";
@@ -364,8 +563,10 @@ let run pool main =
   | None -> ());
   let result = ref None in
   let p = promise () in
+  let w0 = pool.workers.(0) in
+  let sp0 = pool.subpools.(w0.w_sp) in
   let fiber =
-    make_fiber pool (fun () ->
+    make_fiber pool sp0 ~prio:0 (fun () ->
         (match main () with
         | v -> result := Some (Ok v)
         | exception e -> result := Some (Error e));
@@ -374,12 +575,11 @@ let run pool main =
            targeted signal could wake somebody else instead. *)
         notify_all pool)
   in
-  let w0 = pool.workers.(0) in
-  Deque.push w0.deque fiber;
-  notify_one pool;
+  (* External path: the calling thread only becomes worker 0 inside
+     [worker_loop] below. *)
+  sp0.inst.i_push ~slot:(-1) ~prio:0 fiber;
+  notify_push pool sp0;
   worker_loop pool w0 ~until:(fun () -> is_resolved p);
-  (* Drain any leftover ready work this run created?  Fibers spawned but
-     not awaited keep running on the other domains; that is by design. *)
   match !result with
   | Some (Ok v) -> v
   | Some (Error e) -> raise e
@@ -399,12 +599,16 @@ let parallel_map f xs =
 let parallel_for ?chunk lo hi f =
   let n = hi - lo in
   if n > 0 then begin
-    let pool, _ = self () in
+    let pool, w = self () in
     let chunk =
       match chunk with
       | Some c when c > 0 -> c
       | Some _ -> invalid_arg "Fiber.parallel_for: chunk <= 0"
-      | None -> Stdlib.max 1 (n / (8 * Array.length pool.workers))
+      | None ->
+          (* Size chunks to the caller's sub-pool, not the whole pool:
+             that is who will run them (overflow aside). *)
+          let members = Array.length pool.subpools.(w.w_sp).sp_members in
+          Stdlib.max 1 (n / (8 * members))
     in
     let rec spawn_chunks acc i =
       if i >= hi then acc

@@ -1,9 +1,18 @@
 (** A real, executable M:N fiber runtime on OCaml 5 effects + domains —
     the native-OCaml counterpart of the paper's M:N threading model.
 
-    M fibers are multiplexed over N domains ("workers") with work
-    stealing.  Scheduling is cooperative ([yield], [await]); preemption
-    is {e safe-point based}: a ticker marks workers for preemption every
+    M fibers are multiplexed over N domains ("workers") organized into
+    {e named sub-pools}: each sub-pool pins a subset of the workers and
+    carries its own pluggable {!Scheduler.t} (work stealing by default,
+    or the ported packing / in-situ priority policies).  Spawns may
+    target a sub-pool ([spawn ~pool:"analysis"]); steals prefer
+    same-sub-pool victims and overflow cross-sub-pool only when a
+    member's own sub-pool has nothing runnable (and the sub-pool's
+    [overflow] flag allows it).  Construction goes through the
+    validating {!Config.make}.
+
+    Scheduling is cooperative ([yield], [await]); preemption is
+    {e safe-point based}: a ticker marks workers for preemption every
     [preempt_interval], and a fiber crossing a {!check} point (or an
     explicit {!yield}) is descheduled.  This is the GHC-style variant
     the paper's §5 discusses — portable OCaml cannot context-switch
@@ -14,26 +23,59 @@ type pool
 
 type 'a promise
 
-(** [create ~domains ()] — [domains] defaults to
-    [Domain.recommended_domain_count () - 1], at least 1.
-    [preempt_interval] (seconds) arms the preemption ticker; [None]
-    (default) leaves the runtime purely cooperative. *)
+(** [make cfg] builds the pool described by a validated {!Config.t}:
+    one scheduler instance per sub-pool, worker domains spawned for
+    every worker but 0 (worker 0 is the caller inside {!run}), the
+    preemption ticker armed if [cfg.preempt_interval] is set, and the
+    flight recorder armed if [cfg.recorder_enabled].
+    @raise Invalid_argument via {!Config.validate} on a hand-built
+    record that does not partition the workers. *)
+val make : Config.t -> pool
+
+(** Deprecated single-pool shim, kept for source compatibility: builds
+    [make (Config.make ?domains ?preempt_interval ())] — one
+    ["default"] sub-pool spanning every worker under the work-stealing
+    scheduler, exactly the historical flat pool.  New code should build
+    a {!Config.t}; validation errors accordingly come in
+    [Config.make]'s uniform format. *)
 val create : ?domains:int -> ?preempt_interval:float -> unit -> pool
 
+(** Total worker count across all sub-pools. *)
 val domains : pool -> int
 
-(** [run pool main] executes [main ()] as a fiber, with the calling
-    thread participating as a worker, and returns its result.  Re-raises
-    any exception [main] threw.  Not reentrant from inside a fiber. *)
+(** Sub-pool names, in configuration order (the first is the default
+    target of {!submit}). *)
+val subpools : pool -> string list
+
+(** [run pool main] executes [main ()] as a fiber (in worker 0's
+    sub-pool), with the calling thread participating as a worker, and
+    returns its result.  Re-raises any exception [main] threw.  Not
+    reentrant from inside a fiber. *)
 val run : pool -> (unit -> 'a) -> 'a
 
 (** Stop the worker domains and join them.  The pool cannot be reused. *)
 val shutdown : pool -> unit
 
+(** [submit pool ~pool:name body] — external submission from {e outside}
+    the runtime (or from any fiber): enqueues [body] on the named
+    sub-pool (default: the first one) via the scheduler's external path
+    and returns its promise.  [prio] as in {!spawn}.
+    @raise Invalid_argument on an unknown sub-pool name. *)
+val submit : pool -> ?pool:string -> ?prio:int -> (unit -> 'a) -> 'a promise
+
 (** {1 Fiber operations — valid only inside fibers} *)
 
-(** Fork a child fiber. *)
-val spawn : (unit -> 'a) -> 'a promise
+(** Fork a child fiber.  Without [~pool], the child is a LIFO child of
+    the calling worker inside the caller's own sub-pool (fork–join
+    locality).  With [~pool:name], the fiber is {e submitted} to the
+    named sub-pool as a whole: it takes the scheduler's external path
+    even when the caller is a member, and is served like any other
+    incoming request.  [prio] (default [0]) is a scheduler hint: under
+    {!Scheduler.priority}, [prio > 0] marks in-situ analysis work.
+    The fiber is pinned: wherever it suspends or yields, it re-enters
+    its home sub-pool.
+    @raise Invalid_argument on an unknown sub-pool name. *)
+val spawn : ?pool:string -> ?prio:int -> (unit -> 'a) -> 'a promise
 
 (** Wait for a promise; re-raises if the child failed. *)
 val await : 'a promise -> 'a
@@ -43,9 +85,9 @@ val yield : unit -> unit
 (** [suspend_or decide] — atomic conditional suspension, the building
     block of {!Fsync}.  [decide wake] runs on the current worker; if it
     returns [`Suspended] it must have arranged for [wake] to be called
-    exactly once later (from any fiber), which reschedules this fiber;
-    if it returns [`Continue] the fiber proceeds and [wake] must never
-    be called. *)
+    exactly once later (from any fiber), which reschedules this fiber
+    on its home sub-pool; if it returns [`Continue] the fiber proceeds
+    and [wake] must never be called. *)
 val suspend_or : ((unit -> unit) -> [ `Continue | `Suspended ]) -> unit
 
 (** Preemption safe point: yields iff the ticker has marked this worker.
@@ -56,8 +98,9 @@ val check : unit -> unit
 val is_resolved : 'a promise -> bool
 
 (** [parallel_for ~chunk lo hi f] runs [f i] for [lo <= i < hi] across
-    fibers of [chunk] iterations each ([chunk] defaults to a heuristic),
-    checking the preemption flag between iterations. *)
+    fibers of [chunk] iterations each ([chunk] defaults to a heuristic
+    sized to the caller's sub-pool), checking the preemption flag
+    between iterations. *)
 val parallel_for : ?chunk:int -> int -> int -> (int -> unit) -> unit
 
 (** Number of preemptions taken (ticker-initiated deschedules). *)
@@ -67,3 +110,28 @@ val preemptions : pool -> int
     (one per element; use {!parallel_for} + arrays for fine-grained
     ranges). Order preserved. *)
 val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Observability} *)
+
+(** Per-sub-pool counters, aggregated racily from per-worker cells
+    (stale by a few operations under load; exact once quiescent). *)
+type subpool_stats = {
+  st_name : string;
+  st_sched : string;  (** scheduler name, e.g. ["ws"] *)
+  st_workers : int;
+  st_spawned : int;  (** local forks + targeted/external submissions *)
+  st_local_steals : int;  (** same-sub-pool steals by members *)
+  st_overflow_in : int;  (** tasks members took from other sub-pools *)
+  st_overflow_out : int;  (** tasks other sub-pools took from here *)
+  st_pending : int;  (** scheduler length snapshot *)
+}
+
+(** One entry per sub-pool, in configuration order. *)
+val stats : pool -> subpool_stats list
+
+(** The pool's flight recorder (armed via [Config.recorder]): every
+    successful steal emits [Recorder.ev_pool_steal] with (thief
+    sub-pool, victim sub-pool) into the thief's worker ring, so a saved
+    dump lets [repro observe --load] attribute cross-sub-pool overflow
+    separately from local steals. *)
+val recorder : pool -> Preempt_core.Recorder.t

@@ -29,6 +29,17 @@ let deque_stress ~stealers ~items =
   let seen = Array.init items (fun _ -> Atomic.make 0) in
   let claimed = Atomic.make 0 in
   let claimed_sum = Atomic.make 0 in
+  (* A sampler domain hammers the racy [length] snapshot throughout: it
+     must clamp the ring term's negative transients (owner pop's
+     bottom = top - 1 window, thief CAS between the index reads) and
+     never report a negative backlog. *)
+  let neg_lengths = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while Atomic.get claimed < items do
+          if Fiber.Deque.length d < 0 then Atomic.incr neg_lengths
+        done)
+  in
   let claim v =
     ignore (Atomic.fetch_and_add (Array.get seen v) 1);
     ignore (Atomic.fetch_and_add claimed_sum v);
@@ -62,6 +73,10 @@ let deque_stress ~stealers ~items =
   in
   drain ();
   List.iter Domain.join thieves;
+  Domain.join sampler;
+  if Atomic.get neg_lengths > 0 then
+    fail "deque stress: length went negative %d time(s)"
+      (Atomic.get neg_lengths);
   Array.iteri
     (fun v c ->
       let c = Atomic.get c in

@@ -172,6 +172,87 @@ let test_runtime_create_validates_config () =
   Runtime.set_metrics_enabled rt false;
   Alcotest.(check bool) "runtime setter" false (Runtime.metrics_enabled rt)
 
+(* --- Fiber pool construction: Fiber.Config.make / validate ---------- *)
+
+(* The real fiber runtime's smart constructor speaks the same
+   "Config: <field> = <value> (must be <requirement>)" contract as
+   Core's Config (pinned above): every pool-shape rejection names the
+   field, the offending value and the requirement. *)
+let test_fiber_config_validation () =
+  let sp = Fiber.Config.subpool in
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Config: domains = 0 (must be >= 1)") (fun () ->
+      ignore (Fiber.Config.make ~domains:0 ()));
+  Alcotest.check_raises "bad preempt_interval"
+    (Invalid_argument "Config: preempt_interval = -0.001 (must be positive)")
+    (fun () ->
+      ignore (Fiber.Config.make ~domains:1 ~preempt_interval:(-0.001) ()));
+  Alcotest.check_raises "zero recorder_capacity"
+    (Invalid_argument "Config: recorder_capacity = 0 (must be positive)")
+    (fun () -> ignore (Fiber.Config.make ~domains:1 ~recorder_capacity:0 ()));
+  Alcotest.check_raises "empty subpools"
+    (Invalid_argument "Config: subpools = [] (must be non-empty)") (fun () ->
+      ignore (Fiber.Config.make ~domains:1 ~subpools:[] ()));
+  Alcotest.check_raises "empty sub-pool name"
+    (Invalid_argument "Config: subpool.name = \"\" (must be non-empty)")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:1
+           ~subpools:[ sp ~name:"" ~workers:[ 0 ] () ]
+           ()));
+  Alcotest.check_raises "duplicate sub-pool name"
+    (Invalid_argument "Config: subpool.name = \"a\" (must be unique)")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:2
+           ~subpools:[ sp ~name:"a" ~workers:[ 0 ] (); sp ~name:"a" ~workers:[ 1 ] () ]
+           ()));
+  Alcotest.check_raises "empty worker list"
+    (Invalid_argument "Config: subpools[a].workers = [] (must be non-empty)")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:1 ~subpools:[ sp ~name:"a" ~workers:[] () ] ()));
+  Alcotest.check_raises "worker out of range"
+    (Invalid_argument
+       "Config: subpools[a].workers = 2 (must be within 0..1 (domains = 2))")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:2
+           ~subpools:[ sp ~name:"a" ~workers:[ 0; 1; 2 ] () ]
+           ()));
+  Alcotest.check_raises "overlapping sub-pools"
+    (Invalid_argument
+       "Config: subpools[b].workers = 0 (must be pinned to exactly one \
+        sub-pool)") (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:2
+           ~subpools:
+             [ sp ~name:"a" ~workers:[ 0; 1 ] (); sp ~name:"b" ~workers:[ 0 ] () ]
+           ()));
+  Alcotest.check_raises "unpinned worker"
+    (Invalid_argument
+       "Config: subpools = {a} (must be a partition of workers 0..1: worker 1 \
+        is unpinned)") (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:2 ~subpools:[ sp ~name:"a" ~workers:[ 0 ] () ] ()))
+
+(* The deprecated [Fiber.create] shim still builds a working pool — one
+   "default" sub-pool spanning every worker under the work-stealing
+   scheduler — so historical call sites compile and run unchanged. *)
+let test_fiber_create_shim () =
+  let pool = Fiber.create ~domains:2 () in
+  Alcotest.(check (list string)) "one default sub-pool" [ "default" ]
+    (Fiber.subpools pool);
+  Alcotest.(check int) "domains" 2 (Fiber.domains pool);
+  let v = Fiber.run pool (fun () -> Fiber.await (Fiber.spawn (fun () -> 41 + 1))) in
+  Alcotest.(check int) "shim pool runs" 42 v;
+  (match Fiber.stats pool with
+  | [ st ] ->
+      Alcotest.(check string) "ws scheduler" "ws" st.Fiber.st_sched;
+      Alcotest.(check int) "both workers" 2 st.Fiber.st_workers
+  | sts -> Alcotest.fail (Printf.sprintf "%d stats rows, expected 1" (List.length sts)));
+  Fiber.shutdown pool
+
 (* Abt.init no longer hard-codes per-worker-aligned timers. *)
 let test_abt_init_strategies () =
   let eng = Engine.create () in
@@ -207,4 +288,7 @@ let suite =
     Alcotest.test_case "metrics naming unified" `Quick test_config_metrics_alias;
     Alcotest.test_case "Runtime.create validates config" `Quick test_runtime_create_validates_config;
     Alcotest.test_case "Abt.init strategy/suspend knobs" `Quick test_abt_init_strategies;
+    Alcotest.test_case "Fiber.Config validation shape" `Quick
+      test_fiber_config_validation;
+    Alcotest.test_case "Fiber.create shim" `Quick test_fiber_create_shim;
   ]

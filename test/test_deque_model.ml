@@ -196,6 +196,47 @@ let test_segment_ring_boundary () =
   Alcotest.(check int) "drained" 0 (Fiber.Deque.length d);
   Alcotest.(check int) "model drained" 0 (m_length m)
 
+(* The [length] snapshot must clamp its ring term: the owner's pop
+   briefly publishes [bottom = top - 1] on the race-to-empty path, and a
+   thief's CAS can advance [top] between the snapshot's two index reads
+   — either way a raw [bottom - top] would go negative and drag the
+   total below the (always non-negative) front-segment contribution.
+   The owner here keeps the ring hovering around empty (one push, two
+   pops) against a concurrent thief, so both windows are hit; a third
+   domain samples [length] throughout.  fiber_smoke's deque stress
+   samples the same invariant under heavier contention. *)
+let test_length_never_negative () =
+  let d = Fiber.Deque.create () in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          if Fiber.Deque.length d < 0 then Atomic.incr bad
+        done)
+  in
+  let thief =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (Fiber.Deque.steal d)
+        done)
+  in
+  for round = 1 to 20_000 do
+    Fiber.Deque.push d round;
+    if round land 3 = 0 then Fiber.Deque.push_front d (-round);
+    ignore (Fiber.Deque.pop d);
+    ignore (Fiber.Deque.pop d)
+  done;
+  Atomic.set stop true;
+  Domain.join sampler;
+  Domain.join thief;
+  Alcotest.(check int) "length never negative" 0 (Atomic.get bad);
+  let rec drain () =
+    match Fiber.Deque.pop d with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "drained exact" 0 (Fiber.Deque.length d)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest model_check;
@@ -204,4 +245,6 @@ let suite =
     Alcotest.test_case "growth past capacity" `Quick test_growth_past_capacity;
     Alcotest.test_case "push_front ordering" `Quick test_push_front_ordering;
     Alcotest.test_case "segment/ring boundary" `Quick test_segment_ring_boundary;
+    Alcotest.test_case "length clamps negative transients" `Quick
+      test_length_never_negative;
   ]

@@ -124,6 +124,122 @@ let test_parallel_map () =
       let r = Fiber.run pool (fun () -> Fiber.parallel_map (fun x -> x * x) [ 1; 2; 3; 4 ]) in
       Alcotest.(check (list int)) "squares in order" [ 1; 4; 9; 16 ] r)
 
+(* --- Sharded sub-pools ---------------------------------------------- *)
+
+let with_sharded ?(recorder = false) f =
+  let pool =
+    Fiber.make
+      (Fiber.Config.make ~domains:2 ~recorder
+         ~subpools:
+           [
+             Fiber.Config.subpool ~name:"compute" ~workers:[ 0 ] ();
+             Fiber.Config.subpool ~name:"analysis" ~workers:[ 1 ] ();
+           ]
+         ())
+  in
+  Fun.protect ~finally:(fun () -> Fiber.shutdown pool) (fun () -> f pool)
+
+let test_targeted_spawn () =
+  with_sharded (fun pool ->
+      Alcotest.(check (list string))
+        "names in config order" [ "compute"; "analysis" ] (Fiber.subpools pool);
+      let r =
+        Fiber.run pool (fun () ->
+            Fiber.await (Fiber.spawn ~pool:"analysis" (fun () -> 21 * 2)))
+      in
+      Alcotest.(check int) "targeted child" 42 r;
+      let st =
+        List.find (fun s -> s.Fiber.st_name = "analysis") (Fiber.stats pool)
+      in
+      Alcotest.(check bool) "counted against analysis" true
+        (st.Fiber.st_spawned > 0))
+
+let test_unknown_subpool_rejected () =
+  with_sharded (fun pool ->
+      Alcotest.check_raises "unknown target"
+        (Invalid_argument "Fiber: unknown sub-pool \"nope\"") (fun () ->
+          Fiber.run pool (fun () ->
+              Fiber.await (Fiber.spawn ~pool:"nope" (fun () -> ()))));
+      Alcotest.check_raises "unknown submit"
+        (Invalid_argument "Fiber: unknown sub-pool \"nope\"") (fun () ->
+          ignore (Fiber.submit pool ~pool:"nope" (fun () -> ()))))
+
+(* All three ported policies run the same workload under the one
+   SCHEDULER interface; stats reports each by name. *)
+let test_pluggable_schedulers () =
+  List.iter
+    (fun sched ->
+      let pool =
+        Fiber.make
+          (Fiber.Config.make ~domains:2
+             ~subpools:
+               [ Fiber.Config.subpool ~sched ~name:"main" ~workers:[ 0; 1 ] () ]
+             ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Fiber.shutdown pool)
+        (fun () ->
+          let total =
+            Fiber.run pool (fun () ->
+                let ps =
+                  List.init 100 (fun i ->
+                      Fiber.spawn ~prio:(i land 1) (fun () -> i))
+                in
+                List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+          in
+          Alcotest.(check int)
+            (Fiber.Scheduler.name sched ^ " sums")
+            (99 * 100 / 2) total;
+          match Fiber.stats pool with
+          | [ st ] ->
+              Alcotest.(check string) "scheduler name"
+                (Fiber.Scheduler.name sched) st.Fiber.st_sched
+          | sts ->
+              Alcotest.failf "%d stats rows, expected 1" (List.length sts)))
+    [ Fiber.Scheduler.ws; Fiber.Scheduler.packing; Fiber.Scheduler.priority ]
+
+(* Engineered overflow: 40 x ~2ms tasks pinned to a 1-worker compute
+   sub-pool while the analysis worker idles, so analysis must
+   overflow-steal; both the racy per-sub-pool counters and the flight
+   recorder (through an encode/decode round trip and the Observe steal
+   split) must attribute the cross-sub-pool traffic. *)
+let test_overflow_attribution () =
+  with_sharded ~recorder:true (fun pool ->
+      Fiber.run pool (fun () ->
+          let ps =
+            List.init 40 (fun _ ->
+                Fiber.spawn ~pool:"compute" (fun () ->
+                    let t0 = Unix.gettimeofday () in
+                    while Unix.gettimeofday () -. t0 < 0.002 do
+                      ()
+                    done))
+          in
+          List.iter Fiber.await ps);
+      let find n = List.find (fun s -> s.Fiber.st_name = n) (Fiber.stats pool) in
+      let analysis = find "analysis" and compute = find "compute" in
+      Alcotest.(check bool) "analysis overflowed in" true
+        (analysis.Fiber.st_overflow_in > 0);
+      Alcotest.(check bool) "compute lost tasks" true
+        (compute.Fiber.st_overflow_out > 0);
+      let rec_ = Fiber.recorder pool in
+      match Preempt_core.Recorder.(decode (encode rec_)) with
+      | Error e -> Alcotest.failf "dump round-trip: %s" e
+      | Ok dump -> (
+          let open Experiments.Observe in
+          let r = of_dump dump in
+          match r.r_steals with
+          | None -> Alcotest.fail "no steal split in the report"
+          | Some s ->
+              Alcotest.(check bool) "overflow steals recorded" true
+                (s.ss_overflow > 0);
+              List.iter
+                (fun (thief, victim, n) ->
+                  if not (thief = 1 && victim = 0 && n > 0) then
+                    Alcotest.failf
+                      "unexpected steal pair: sub-pool %d from %d (%d)" thief
+                      victim n)
+                s.ss_pairs))
+
 let test_deque_basics () =
   let d = Fiber.Deque.create () in
   Fiber.Deque.push d 1;
@@ -148,5 +264,10 @@ let suite =
     Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_runs;
     Alcotest.test_case "shutdown rejects run" `Quick test_shutdown_rejects_run;
     Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+    Alcotest.test_case "targeted spawn" `Quick test_targeted_spawn;
+    Alcotest.test_case "unknown sub-pool rejected" `Quick
+      test_unknown_subpool_rejected;
+    Alcotest.test_case "pluggable schedulers" `Quick test_pluggable_schedulers;
+    Alcotest.test_case "overflow attribution" `Quick test_overflow_attribution;
     Alcotest.test_case "deque basics" `Quick test_deque_basics;
   ]
