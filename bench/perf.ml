@@ -647,6 +647,21 @@ let scaling_check entries =
 
 let isolation_min = 3.0
 
+(* Unlike core count, host load is transient: on a busy machine the
+   "dedicated" analysis core time-slices with whatever else is running
+   and the ratio can legitimately collapse for one sample.  A fresh
+   back-to-back re-measure of just the pair costs ~a second and
+   separates a loaded-host blip from a real isolation regression. *)
+let isolation_remeasure () =
+  let sample sharded =
+    let t0 = wall () in
+    let ops = pool_isolation ~sharded ~scale:1 () in
+    (wall () -. t0) /. ops *. 1e9
+  in
+  let flat = sample false in
+  let sharded = sample true in
+  flat /. Stdlib.max 1e-9 sharded
+
 let isolation_check entries =
   let ns_per_op name =
     List.find_opt (fun e -> e.name = name) entries
@@ -665,10 +680,19 @@ let isolation_check entries =
           ratio isolation_min cores;
         if ratio < isolation_min then begin
           Printf.printf
-            "perf-smoke: FAIL — sharded sub-pools no longer isolate probe \
-             latency (%.2fx < %.1fx)\n"
+            "sub-pool isolation: %.2fx < %.1fx — re-measuring once (host \
+             load can time-slice the analysis core)\n%!"
             ratio isolation_min;
-          false
+          let retry = isolation_remeasure () in
+          Printf.printf "sub-pool isolation (retry): %.1fx\n" retry;
+          if retry < isolation_min then begin
+            Printf.printf
+              "perf-smoke: FAIL — sharded sub-pools no longer isolate probe \
+               latency (%.2fx < %.1fx on retry)\n"
+              retry isolation_min;
+            false
+          end
+          else true
         end
         else true
       end

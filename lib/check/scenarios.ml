@@ -322,10 +322,13 @@ let dpor_writers_prog env =
    duplicated fiber — and that no overflow steal happened while the
    thief's own sub-pool still had runnable work.
 
-   [unfenced] re-introduces the bug the atomic claim fences off: the
-   thief picks its victim task, then crosses a schedule point before
-   marking it claimed, so two thieves (or a thief and the owner) can
-   both run the same task. *)
+   [unfenced] re-introduces the bugs the one-step (fenced) commit
+   prevents: the thief picks its victim task, then crosses a schedule
+   point before marking it claimed, so two thieves (or a thief and the
+   owner) can both run the same task — and analysis work refilled into
+   the thief's own backlog across that window ("pool.refill") turns
+   the completed steal into an overflow steal while the own sub-pool
+   had runnable work, tripping the second oracle. *)
 
 let pool_overflow_prog ?(unfenced = false) env =
   let eng = env.Runner.eng in
@@ -352,6 +355,12 @@ let pool_overflow_prog ?(unfenced = false) env =
           claimed.(i) <- true;
           exec.(i) <- exec.(i) + 1
         end;
+        (* New analysis work may land in a thief's backlog at any
+           point — in particular inside an unfenced thief's
+           pick-to-commit window, which is what keeps the bad-steal
+           oracle honest.  A pick, not a fault: the unfenced variant
+           runs without fault injection and still needs refills. *)
+        if pick ~n:2 "pool.refill" = 1 then own.(i mod 2) <- own.(i mod 2) + 1;
         if fault "pool.preempt" then Engine.delay 0.0;
         Engine.delay 1e-4
       done);
@@ -375,9 +384,16 @@ let pool_overflow_prog ?(unfenced = false) env =
             | -1 -> ()
             | _ when pick ~n:2 "pool.victim" = 1 -> () (* defer the steal *)
             | i ->
-                if own.(w) > 0 then bad_steal := true;
                 if unfenced then Engine.delay 0.0;
                 (* ^ buggy variant: victim chosen, claim not yet marked *)
+                (* Re-read at the commit point.  The fenced thief's
+                   emptiness test, victim pick and claim are one engine
+                   step, so own.(w) is still 0 here by construction; the
+                   unfenced thief crossed a schedule point above, where
+                   a pool.refill can land analysis work in its backlog —
+                   stealing anyway is exactly the forbidden overflow
+                   steal while the own sub-pool has runnable work. *)
+                if own.(w) > 0 then bad_steal := true;
                 claimed.(i) <- true;
                 exec.(i) <- exec.(i) + 1
           end;

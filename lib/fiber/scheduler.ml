@@ -195,14 +195,27 @@ end
 
 (* In-situ priority (port of lib/core/sched_priority.ml, §4.3):
    [prio <= 0] (simulation) enters a member's main FIFO and may be
-   stolen; [prio > 0] (in-situ analysis) enters the member's aux LIFO,
-   runs only when no main work is in reach, and is never handed to a
-   thief — analysis stays where its data is. *)
+   stolen; [prio > 0] (in-situ analysis) runs only when no main work is
+   in reach and is never handed to a cross-sub-pool thief — analysis
+   stays inside the sub-pool, where its data is.
+
+   Analysis routing depends on who pushes.  A member's own analysis
+   work ([slot >= 0]) enters its private aux LIFO.  An *external*
+   analysis submission ([slot = -1]) enters a sub-pool-shared aux
+   stack instead: a private aux is only ever drained by its owner, so
+   parking an external task there would strand it whenever the wakeup
+   (one signal to an arbitrary sleeper) lands on a different member —
+   the shared stack is reachable from every member's steal path. *)
 
 module Priority : SCHEDULER = struct
   type stack = { sm : Mutex.t; mutable items : task list }
 
-  type t = { main : task Lq.t array; aux : stack array; ext : int Atomic.t }
+  type t = {
+    main : task Lq.t array;
+    aux : stack array;
+    shared_aux : stack;
+    ext : int Atomic.t;
+  }
 
   let name = "priority"
 
@@ -210,6 +223,7 @@ module Priority : SCHEDULER = struct
     {
       main = Array.init slots (fun _ -> Lq.create ());
       aux = Array.init slots (fun _ -> { sm = Mutex.create (); items = [] });
+      shared_aux = { sm = Mutex.create (); items = [] };
       ext = Atomic.make 0;
     }
 
@@ -236,12 +250,15 @@ module Priority : SCHEDULER = struct
     Mutex.unlock s.sm;
     n
 
-  let home t slot =
-    if slot >= 0 then slot else Atomic.fetch_and_add t.ext 1 mod Array.length t.main
-
   let push t ~slot ~prio x =
-    let h = home t slot in
-    if prio > 0 then aux_push t.aux.(h) x else Lq.push t.main.(h) x
+    if prio > 0 then
+      aux_push (if slot >= 0 then t.aux.(slot) else t.shared_aux) x
+    else
+      let h =
+        if slot >= 0 then slot
+        else Atomic.fetch_and_add t.ext 1 mod Array.length t.main
+      in
+      Lq.push t.main.(h) x
 
   (* Yield re-queue: main work goes to the back of its FIFO (behind
      local work); analysis work re-enters its LIFO, matching the
@@ -266,13 +283,21 @@ module Priority : SCHEDULER = struct
     match sweep 0 with
     | Some _ as r -> r
     | None ->
-        (* Own aux only once no main work is reachable, and only for a
-           member ([slot >= 0]): analysis never leaves the sub-pool. *)
-        if slot >= 0 then aux_pop t.aux.(slot) else None
+        (* Aux only once no main work is reachable, and only for a
+           member ([slot >= 0]): analysis never leaves the sub-pool.
+           Own LIFO first (its data is hot here), then the shared
+           stack, so whichever member the pusher's single wakeup lands
+           on can serve an external analysis submission. *)
+        if slot >= 0 then
+          match aux_pop t.aux.(slot) with
+          | Some _ as r -> r
+          | None -> aux_pop t.shared_aux
+        else None
 
   let length t =
     Array.fold_left (fun a q -> a + Lq.length q) 0 t.main
     + Array.fold_left (fun a s -> a + aux_length s) 0 t.aux
+    + aux_length t.shared_aux
 end
 
 (* ------------------------------------------------------------------ *)

@@ -198,6 +198,42 @@ let test_pluggable_schedulers () =
               Alcotest.failf "%d stats rows, expected 1" (List.length sts)))
     [ Fiber.Scheduler.ws; Fiber.Scheduler.packing; Fiber.Scheduler.priority ]
 
+(* Regression: a targeted [~prio:1] spawn into an otherwise idle
+   priority sub-pool must run.  External analysis submissions used to
+   land on a round-robin-chosen member's *private* aux stack while the
+   push's single wakeup could rouse a different member, which found
+   nothing and re-parked against the bumped epoch — stranding the task
+   (and the await below) until an unrelated push arrived.  They now go
+   to the sub-pool-shared aux stack, reachable from whichever member
+   wakes; the sequential awaits re-park the members between spawns, so
+   under the old routing this test hung with probability ~1 - 2^-20. *)
+let test_priority_targeted_prio_spawn () =
+  let pool =
+    Fiber.make
+      (Fiber.Config.make ~domains:3
+         ~subpools:
+           [
+             Fiber.Config.subpool ~name:"main" ~workers:[ 0 ] ();
+             Fiber.Config.subpool ~sched:Fiber.Scheduler.priority
+               ~name:"insitu" ~workers:[ 1; 2 ] ();
+           ]
+         ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Fiber.shutdown pool)
+    (fun () ->
+      let total =
+        Fiber.run pool (fun () ->
+            let acc = ref 0 in
+            for i = 1 to 20 do
+              acc :=
+                !acc
+                + Fiber.await (Fiber.spawn ~pool:"insitu" ~prio:1 (fun () -> i))
+            done;
+            !acc)
+      in
+      Alcotest.(check int) "all analysis spawns ran" (20 * 21 / 2) total)
+
 (* Engineered overflow: 40 x ~2ms tasks pinned to a 1-worker compute
    sub-pool while the analysis worker idles, so analysis must
    overflow-steal; both the racy per-sub-pool counters and the flight
@@ -268,6 +304,8 @@ let suite =
     Alcotest.test_case "unknown sub-pool rejected" `Quick
       test_unknown_subpool_rejected;
     Alcotest.test_case "pluggable schedulers" `Quick test_pluggable_schedulers;
+    Alcotest.test_case "priority: targeted prio spawn wakes" `Quick
+      test_priority_targeted_prio_spawn;
     Alcotest.test_case "overflow attribution" `Quick test_overflow_attribution;
     Alcotest.test_case "deque basics" `Quick test_deque_basics;
   ]
