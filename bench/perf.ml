@@ -380,6 +380,33 @@ let pool_isolation ~sharded ~scale () =
   let p99 = Metrics.Hist.quantile h 99.0 in
   elapsed /. Stdlib.max 1e-9 p99
 
+(* Open-loop serving latency at a gated overload point (docs/serving.md):
+   the lib/serve injector at an offered rate above the 3 serving
+   workers' capacity, fixed quantum vs the adaptive controller.  Like
+   pool_isolation, ops = elapsed/p99 so the reported ns/op reads as the
+   short-class sojourn p99 itself; the serve gate below asserts the
+   fixed/adaptive ratio. *)
+let serve_rate = 40_000.0
+
+let serve_report ~adaptive ~scale =
+  Serve.run
+    {
+      Serve.default with
+      Serve.rate = serve_rate;
+      duration = 0.15 *. float_of_int scale;
+      domains = 4;
+      adaptive;
+    }
+
+let serve_short_p99 ~adaptive ~scale =
+  let rep = serve_report ~adaptive ~scale in
+  rep.Serve.r_short.Serve.cr_p99
+
+let serve_p99 ~adaptive ~scale () =
+  let rep = serve_report ~adaptive ~scale in
+  rep.Serve.r_elapsed
+  /. Stdlib.max 1e-9 rep.Serve.r_short.Serve.cr_p99
+
 (* Fast presets of the two figures whose sweeps dominate bench wall
    time; ops = 1, the metric is the preset's wall clock itself. *)
 let fig4_fast () =
@@ -419,6 +446,8 @@ let benchmarks ~quick =
     ("fiber_preempt_d8", 8, fiber_preempt ~domains:8 ~scale);
     ("pool_isolation_flat", 4, pool_isolation ~sharded:false ~scale);
     ("pool_isolation_sharded", 4, pool_isolation ~sharded:true ~scale);
+    ("serve_p99_fixed", 4, serve_p99 ~adaptive:false ~scale);
+    ("serve_p99_adaptive", 4, serve_p99 ~adaptive:true ~scale);
     ("fig4_fast_preset", 1, fig4_fast);
     ("fig6_fast_preset", 1, fig6_fast);
   ]
@@ -524,10 +553,13 @@ let compare_entries ~tolerance ~baseline ~current =
                    measures the OS scheduler, not us: record it, don't
                    gate on it.  (On a big enough host it gates.) *)
                 "  (oversubscribed; informational)"
-              else if String.starts_with ~prefix:"pool_isolation" name then
+              else if
+                String.starts_with ~prefix:"pool_isolation" name
+                || String.starts_with ~prefix:"serve_p99" name
+              then
                 (* Absolute probe p99 swings with host load; the
-                   flat/sharded *ratio* is the tracked claim and the
-                   isolation gate below asserts it. *)
+                   flat/sharded (resp. fixed/adaptive) *ratio* is the
+                   tracked claim and the gates below assert it. *)
                 "  (latency probe; informational)"
               else begin
                 regressions := name :: !regressions;
@@ -601,6 +633,16 @@ let recorder_budget_check entries =
 
 let scaling_min = 2.0
 
+(* One fresh back-to-back d1/d4 sample, for the gate's single retry. *)
+let scaling_remeasure () =
+  let sample domains =
+    let t0 = wall () in
+    let ops = fiber_spawn_steal ~domains ~scale:1 () in
+    ops /. (wall () -. t0)
+  in
+  let t1 = sample 1 in
+  sample 4 /. Stdlib.max 1e-9 t1
+
 let scaling_check entries =
   let tput name =
     List.find_opt (fun e -> e.name = name) entries
@@ -608,29 +650,10 @@ let scaling_check entries =
   in
   match (tput "fiber_spawn_steal_d1", tput "fiber_spawn_steal_d4") with
   | Some t1, Some t4 ->
-      let cores = Domain.recommended_domain_count () in
-      let ratio = t4 /. t1 in
-      if cores >= 4 then begin
-        Printf.printf
-          "fiber spawn/steal scaling: d4 = %.2fx d1 (minimum %.1fx, host \
-           cores %d)\n"
-          ratio scaling_min cores;
-        if ratio < scaling_min then begin
-          Printf.printf
-            "perf-smoke: FAIL — 4-domain contended spawn/steal no longer \
-             scales (%.2fx < %.1fx)\n"
-            ratio scaling_min;
-          false
-        end
-        else true
-      end
-      else begin
-        Printf.printf
-          "fiber spawn/steal scaling: d4 = %.2fx d1 — assertion skipped, \
-           host has only %d core(s)\n"
-          ratio cores;
-        true
-      end
+      Experiments.Gate.report ~name:"fiber spawn/steal scaling (d4 vs d1)"
+        ~minimum:scaling_min
+        (Experiments.Gate.ratio_gate ~required_cores:4 ~minimum:scaling_min
+           ~remeasure:scaling_remeasure (t4 /. t1))
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -671,38 +694,46 @@ let isolation_check entries =
     (ns_per_op "pool_isolation_flat", ns_per_op "pool_isolation_sharded")
   with
   | Some flat, Some sharded ->
-      let cores = Domain.recommended_domain_count () in
-      let ratio = flat /. sharded in
-      if cores >= 4 then begin
-        Printf.printf
-          "sub-pool isolation: sharded probe p99 = %.1fx lower than flat \
-           (minimum %.1fx, host cores %d)\n"
-          ratio isolation_min cores;
-        if ratio < isolation_min then begin
-          Printf.printf
-            "sub-pool isolation: %.2fx < %.1fx — re-measuring once (host \
-             load can time-slice the analysis core)\n%!"
-            ratio isolation_min;
-          let retry = isolation_remeasure () in
-          Printf.printf "sub-pool isolation (retry): %.1fx\n" retry;
-          if retry < isolation_min then begin
-            Printf.printf
-              "perf-smoke: FAIL — sharded sub-pools no longer isolate probe \
-               latency (%.2fx < %.1fx on retry)\n"
-              retry isolation_min;
-            false
-          end
-          else true
-        end
-        else true
-      end
-      else begin
-        Printf.printf
-          "sub-pool isolation: sharded probe p99 = %.1fx lower than flat — \
-           assertion skipped, host has only %d core(s)\n"
-          ratio cores;
-        true
-      end
+      Experiments.Gate.report
+        ~name:"sub-pool isolation (flat/sharded probe p99)"
+        ~minimum:isolation_min
+        (Experiments.Gate.ratio_gate ~required_cores:4 ~minimum:isolation_min
+           ~remeasure:isolation_remeasure
+           (flat /. Stdlib.max 1e-9 sharded))
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Serve overload gate.
+
+   The serve_p99 pair reports the short-class sojourn p99 as its ns/op,
+   so the fixed/adaptive ns-per-op ratio is the tail win the adaptive
+   quantum controller buys at the gated overload point: >= 1.0 means
+   adaptive never loses to the fixed base quantum.  Same-process and
+   machine-independent like the other gates; the open-loop claim needs
+   4 real cores (on fewer, the injector time-slices with the servers
+   and the offered rate itself collapses), so the gate skips below
+   that with the ratio printed. *)
+
+let serve_min = 1.0
+
+let serve_remeasure () =
+  let fixed = serve_short_p99 ~adaptive:false ~scale:1 in
+  let adaptive = serve_short_p99 ~adaptive:true ~scale:1 in
+  fixed /. Stdlib.max 1e-9 adaptive
+
+let serve_check entries =
+  let ns_per_op name =
+    List.find_opt (fun e -> e.name = name) entries
+    |> Option.map (fun e -> e.wall_s /. e.ops *. 1e9)
+  in
+  match (ns_per_op "serve_p99_fixed", ns_per_op "serve_p99_adaptive") with
+  | Some fixed, Some adaptive ->
+      Experiments.Gate.report
+        ~name:"serve overload p99 (fixed vs adaptive quantum)"
+        ~minimum:serve_min
+        (Experiments.Gate.ratio_gate ~required_cores:4 ~minimum:serve_min
+           ~remeasure:serve_remeasure
+           (fixed /. Stdlib.max 1e-9 adaptive))
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -772,6 +803,7 @@ let () =
       let budget_ok = recorder_budget_check entries in
       let scaling_ok = scaling_check entries in
       let isolation_ok = isolation_check entries in
-      if not (baseline_ok && budget_ok && scaling_ok && isolation_ok) then
-        exit 1
+      let serve_ok = serve_check entries in
+      if not (baseline_ok && budget_ok && scaling_ok && isolation_ok && serve_ok)
+      then exit 1
   | _ -> usage ()

@@ -166,6 +166,173 @@ let observe =
     Term.(const observe_main $ json $ chrome $ dump $ load $ smoke)
 
 (* ------------------------------------------------------------------ *)
+(* repro serve — open-loop serving workload (lib/serve)                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_main rate duration mix arrival burst_period burst_on seed domains
+    preempt fixed quantum_min quantum_max json chrome dump =
+  let fail msg =
+    prerr_endline ("repro serve: " ^ msg);
+    exit 1
+  in
+  let arrival =
+    match arrival with
+    | "poisson" -> Serve.Poisson
+    | "bursty" ->
+        Serve.Bursty { period = burst_period; on_frac = burst_on }
+    | s -> fail (Printf.sprintf "unknown arrival %S (want poisson or bursty)" s)
+  in
+  let d = Serve.default in
+  let cfg =
+    {
+      d with
+      Serve.rate;
+      duration;
+      long_frac = mix;
+      arrival;
+      seed;
+      domains = Option.value domains ~default:d.Serve.domains;
+      preempt_interval =
+        (match preempt with Some i -> Some i | None -> d.Serve.preempt_interval);
+      adaptive = not fixed;
+      quantum_min;
+      quantum_max;
+      recorder = chrome <> None || dump <> None;
+    }
+  in
+  (try Serve.validate cfg with Invalid_argument m -> fail m);
+  let rep = Serve.run ?dump cfg in
+  (match dump with
+  | Some path -> Printf.eprintf "flight record written to %s\n%!" path
+  | None -> ());
+  (match chrome with
+  | Some path ->
+      Experiments.Chrome_trace.write ~path
+        (Experiments.Chrome_trace.of_flight rep.Serve.r_flight);
+      Printf.eprintf "chrome trace written to %s\n%!" path
+  | None -> ());
+  if json then print_string (Serve.to_json rep) else Serve.print_text rep
+
+let serve =
+  let doc =
+    "Drive the fiber runtime with an open-loop serving workload (seeded \
+     Poisson or bursty arrivals at a fixed offered rate, short/long request \
+     mix) and report per-class sojourn p50/p99/p99.9; adaptive per-worker \
+     preemption quanta by default ($(b,--fixed) pins the base interval).  \
+     See docs/serving.md."
+  in
+  let rate =
+    Arg.(
+      value & opt float Serve.default.Serve.rate
+      & info [ "rate" ] ~docv:"REQ_PER_S"
+          ~doc:
+            "Offered arrival rate in requests/second; pick one above the \
+             pool's service capacity to study overload.")
+  in
+  let duration =
+    Arg.(
+      value & opt float Serve.default.Serve.duration
+      & info [ "duration" ] ~docv:"S" ~doc:"Injection horizon in seconds.")
+  in
+  let mix =
+    Arg.(
+      value & opt float Serve.default.Serve.long_frac
+      & info [ "mix" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of requests in the long service class (the rest are \
+             short).")
+  in
+  let arrival =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~docv:"KIND"
+          ~doc:"Arrival process: $(b,poisson) or $(b,bursty) (on/off).")
+  in
+  let burst_period =
+    Arg.(
+      value & opt float 0.1
+      & info [ "burst-period" ] ~docv:"S"
+          ~doc:"Bursty arrivals: on/off cycle length in seconds.")
+  in
+  let burst_on =
+    Arg.(
+      value & opt float 0.25
+      & info [ "burst-on" ] ~docv:"FRAC"
+          ~doc:
+            "Bursty arrivals: fraction of each period carrying traffic (at \
+             rate / $(docv)).")
+  in
+  let seed =
+    Arg.(
+      value & opt int Serve.default.Serve.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Arrival-schedule seed (same seed = same schedule).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Pool size incl. the injector worker (default: available cores).")
+  in
+  let preempt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "preempt" ] ~docv:"S"
+          ~doc:"Base preemption interval in seconds (default 2 ms).")
+  in
+  let fixed =
+    Arg.(
+      value & flag
+      & info [ "fixed" ]
+          ~doc:
+            "Keep the preemption quantum pinned at the base interval instead \
+             of letting the $(b,Quantum) controller adapt it to queue depth.")
+  in
+  let quantum_min =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quantum-min" ] ~docv:"S"
+          ~doc:"Adaptive floor in seconds (default: base / 8).")
+  in
+  let quantum_max =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quantum-max" ] ~docv:"S"
+          ~doc:"Adaptive ceiling in seconds (default: the base interval).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder and write the run's events (steals, \
+             quantum changes) as Chrome trace_events JSON to $(docv).")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder and save the run's binary flight record \
+             to $(docv), for $(b,repro observe --load) attribution.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_main $ rate $ duration $ mix $ arrival $ burst_period
+      $ burst_on $ seed $ domains $ preempt $ fixed $ quantum_min
+      $ quantum_max $ json $ chrome $ dump)
+
+(* ------------------------------------------------------------------ *)
 (* repro check — schedule exploration / fault injection (lib/check)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -514,4 +681,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; observe; check; env ]))
+          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; observe; serve; check; env ]))

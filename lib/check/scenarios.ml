@@ -412,6 +412,111 @@ let pool_overflow_prog ?(unfenced = false) env =
         "pool-overflow: overflow steal while own sub-pool had runnable work")
     ()
 
+(* Serving-injector model: the engine-level counterpart of the
+   lib/serve open-loop load generator.  An injector ULT publishes
+   requests at fixed offsets — never waiting for completions, the
+   open-loop property — and two server ULTs on separate workers claim
+   them under a Usync mutex, run a short/long service mix long enough
+   for the 0.3 ms preemption timer to strike mid-service, and fulfill
+   the request's response Ivar.  Once everything is published the
+   injector awaits every response, so the checker's schedules (plus
+   injected timer/stall faults) probe the two properties the real
+   generator relies on: every request executes exactly once, and no
+   response wake is lost (a lost wake parks the injector forever and
+   [all_finished] trips).
+
+   [racy] splits the claim: the server picks its request, then crosses
+   a schedule point before marking it claimed, so two servers can
+   dispatch the same request — the double-execution the oracle must
+   catch. *)
+let serve_overload_prog ?(racy = false) env =
+  let rt = preemptive_rt env in
+  let n_req = 5 in
+  let exec = Array.make n_req 0 in
+  let claimed = Array.make n_req false in
+  let published = ref 0 in
+  let m = Usync.Mutex.create rt in
+  let resp = Array.init n_req (fun _ -> Usync.Ivar.create rt) in
+  let injector =
+    Runtime.spawn rt ~kind:Types.Klt_switching ~home:0 ~name:"injector"
+      (fun () ->
+        for i = 0 to n_req - 1 do
+          published := i + 1;
+          Ult.compute 1e-4 (* inter-arrival gap; no await — open loop *)
+        done;
+        Array.iter Usync.Ivar.read resp)
+  in
+  let next_unclaimed () =
+    let r = ref (-1) in
+    for i = !published - 1 downto 0 do
+      if not claimed.(i) then r := i
+    done;
+    !r
+  in
+  let servers =
+    List.init 2 (fun w ->
+        Runtime.spawn rt ~kind:Types.Klt_switching ~home:w
+          ~name:(Printf.sprintf "server%d" w)
+          (fun () ->
+            let polls = ref 0 in
+            let all_claimed () =
+              !published = n_req && Array.for_all Fun.id claimed
+            in
+            while (not (all_claimed ())) && !polls < 200 do
+              incr polls;
+              let i =
+                if racy then begin
+                  (* Buggy variant: request picked, claim not yet
+                     marked — the schedule point in between lets the
+                     other server pick the same request. *)
+                  let i = next_unclaimed () in
+                  if i >= 0 then begin
+                    Ult.compute 1e-4 (* pick-to-claim window *);
+                    claimed.(i) <- true
+                  end;
+                  i
+                end
+                else begin
+                  Usync.Mutex.lock m;
+                  let i = next_unclaimed () in
+                  if i >= 0 then claimed.(i) <- true;
+                  Usync.Mutex.unlock m;
+                  i
+                end
+              in
+              if i < 0 then
+                (* A zero-time yield would burn the poll budget before
+                   the injector publishes anything; pace the idle poll
+                   so the servers span the whole injection horizon.
+                   Every duration in this program is a multiple of the
+                   1e-4 arrival gap on purpose: schedule-relevant
+                   events land on shared timestamps, so the chooser's
+                   tie-breaking — not wall-clock luck — decides who
+                   wins a pick-to-claim race. *)
+                Ult.compute 1e-4
+              else begin
+                (* Long services overlap several 0.3 ms timer fires, so
+                   servers get preempted mid-request. *)
+                Ult.compute (if i mod 4 = 3 then 8e-4 else 1e-4);
+                exec.(i) <- exec.(i) + 1;
+                if Usync.Ivar.peek resp.(i) = None then
+                  Usync.Ivar.fill resp.(i) ()
+              end
+            done))
+  in
+  Runtime.start rt;
+  Runner.program ~runtime:rt ~ults:(injector :: servers) ~cores:2
+    ~oracle:(fun () ->
+      Array.iteri
+        (fun i n ->
+          Runner.require (n = 1)
+            "serve-overload: request %d executed %d time(s), expected \
+             exactly 1"
+            i n)
+        exec;
+      Runner.all_finished rt)
+    ()
+
 let all =
   [
     {
@@ -556,6 +661,30 @@ let all =
       sexhaust = false;
       stags = [ "pool" ];
       prog = pool_overflow_prog ~unfenced:true;
+    };
+    {
+      sname = "serve-overload";
+      sdesc =
+        "open-loop injector: mutexed claim keeps requests exactly-once, no \
+         response wake lost";
+      expect = Pass;
+      sfaults = true;
+      sbudget = 60;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "serve" ];
+      prog = serve_overload_prog ?racy:None;
+    };
+    {
+      sname = "serve-overload-racy";
+      sdesc = "split pick-to-claim window double-dispatches a request";
+      expect = Fail;
+      sfaults = false;
+      sbudget = 120;
+      sstrategy = None;
+      sexhaust = false;
+      stags = [ "serve" ];
+      prog = serve_overload_prog ~racy:true;
     };
     {
       sname = "dpor-writers";

@@ -59,6 +59,13 @@ let ev_pool_steal = 22
    fiber runtime (lib/fiber) on every successful steal: [a = b] is a
    same-sub-pool steal, [a <> b] a cross-sub-pool overflow steal. *)
 
+let ev_quantum_change = 23
+(* a = worker id, b = new preemption quantum in ns.  Emitted into the
+   global ring by the real fiber runtime's adaptive ticker
+   (lib/fiber/sched.ml) whenever the Quantum controller moves a
+   worker's quantum — the ticker is the only writer of the global
+   ring there, so worker-local rings stay single-writer. *)
+
 let code_name = function
   | 1 -> "spawn"
   | 2 -> "ready"
@@ -82,6 +89,7 @@ let code_name = function
   | 20 -> "klt-dispatch"
   | 21 -> "klt-block"
   | 22 -> "pool-steal"
+  | 23 -> "quantum-change"
   | c -> Printf.sprintf "code%d" c
 
 (* ------------------------------------------------------------------ *)

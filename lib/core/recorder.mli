@@ -92,6 +92,12 @@ val ev_pool_steal : int
     ([a] = thief sub-pool id, [b] = victim sub-pool id; [a = b] is a
     same-sub-pool steal, [a <> b] cross-sub-pool overflow). *)
 
+val ev_quantum_change : int
+(** Real fiber runtime, adaptive ticker: a worker's preemption quantum
+    moved ([a] = worker id, [b] = new quantum in nanoseconds).  Emitted
+    into the {e global} ring — the ticker thread is its only writer
+    there, keeping every worker ring single-writer. *)
+
 val code_name : int -> string
 (** Short stable name of an event code (["spawn"], ["preempt-req"], …). *)
 

@@ -78,6 +78,25 @@ type steal_split = {
           sorted *)
 }
 
+(* Adaptive-quantum attribution (real fiber runtime dumps): the ticker
+   emits [ev_quantum_change] with (worker id, new quantum in ns) each
+   time the controller moves a worker's quantum, so the record shows
+   how far and how often preemption tightened under load. *)
+type quantum_row = {
+  qr_worker : int;
+  qr_changes : int;
+  qr_min : float;  (** smallest quantum reached, seconds *)
+  qr_max : float;  (** largest quantum reached, seconds *)
+  qr_last : float;  (** quantum at end of record, seconds *)
+}
+
+type quantum_split = {
+  qs_changes : int;
+  qs_shrinks : int;  (** changes that tightened the quantum *)
+  qs_grows : int;  (** changes that relaxed it back toward base *)
+  qs_rows : quantum_row list;  (** per worker, sorted by worker id *)
+}
+
 type report = {
   r_events : Recorder.event array;
   r_emitted : int;
@@ -91,6 +110,9 @@ type report = {
   r_steals : steal_split option;
       (** [None] when the record carries no pool-steal events (the
           simulated runtime never emits them) *)
+  r_quanta : quantum_split option;
+      (** [None] when the record carries no quantum-change events
+          (fixed-interval pools, simulated runtime) *)
 }
 
 let rows_of_chains chains =
@@ -168,6 +190,42 @@ let steal_split_of events =
           |> List.sort compare;
       }
 
+let quantum_split_of events =
+  (* Per worker: (changes, min, max, last).  Events come from the single
+     ticker writer, so per-worker order survives the ring merge. *)
+  let tbl = Hashtbl.create 8 in
+  let shrinks = ref 0 and grows = ref 0 in
+  Array.iter
+    (fun (e : Recorder.event) ->
+      if e.Recorder.e_code = Recorder.ev_quantum_change then begin
+        let w = e.Recorder.e_a in
+        let q = float_of_int e.Recorder.e_b *. 1e-9 in
+        (match Hashtbl.find_opt tbl w with
+        | None -> Hashtbl.replace tbl w (1, q, q, q)
+        | Some (n, lo, hi, last) ->
+            if q < last then incr shrinks else if q > last then incr grows;
+            Hashtbl.replace tbl w (n + 1, Float.min lo q, Float.max hi q, q))
+      end)
+    events;
+  if Hashtbl.length tbl = 0 then None
+  else
+    let rows =
+      Hashtbl.fold
+        (fun w (n, lo, hi, last) acc ->
+          { qr_worker = w; qr_changes = n; qr_min = lo; qr_max = hi;
+            qr_last = last }
+          :: acc)
+        tbl []
+      |> List.sort (fun a b -> compare a.qr_worker b.qr_worker)
+    in
+    Some
+      {
+        qs_changes = List.fold_left (fun a r -> a + r.qr_changes) 0 rows;
+        qs_shrinks = !shrinks;
+        qs_grows = !grows;
+        qs_rows = rows;
+      }
+
 let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
   let chains, never = Recorder.attribute ~n_workers events in
   let timing = Recorder.detect_anomalies ~n_workers ~interval events in
@@ -182,6 +240,7 @@ let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
     r_anomalies = never @ timing;
     r_consistency = Option.bind metrics (consistency_of chains);
     r_steals = steal_split_of events;
+    r_quanta = quantum_split_of events;
   }
 
 let of_runtime rt =
@@ -258,6 +317,19 @@ let print_text r =
           Printf.printf "  sub-pool %d stole %d task(s) from sub-pool %d\n"
             thief n victim)
         s.ss_pairs);
+  (match r.r_quanta with
+  | None -> ()
+  | Some q ->
+      Printf.printf
+        "\nadaptive-quantum attribution: %d change(s) (%d shrink, %d grow)\n"
+        q.qs_changes q.qs_shrinks q.qs_grows;
+      List.iter
+        (fun row ->
+          Printf.printf
+            "  worker %d: %d change(s), quantum %s..%s ms, last %s ms\n"
+            row.qr_worker row.qr_changes (ms row.qr_min) (ms row.qr_max)
+            (ms row.qr_last))
+        q.qs_rows);
   Printf.printf "\nanomalies: %s\n"
     (if r.r_anomalies = [] then "none"
      else
@@ -345,6 +417,21 @@ let to_json r =
                    Printf.sprintf
                      "{\"thief\":%d,\"victim\":%d,\"count\":%d}" t v n)
                  s.ss_pairs))));
+  (match r.r_quanta with
+  | None -> ()
+  | Some q ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"quanta\":{\"changes\":%d,\"shrinks\":%d,\"grows\":%d,\"workers\":[%s]}"
+           q.qs_changes q.qs_shrinks q.qs_grows
+           (String.concat ","
+              (List.map
+                 (fun row ->
+                   Printf.sprintf
+                     "{\"worker\":%d,\"changes\":%d,\"min\":%s,\"max\":%s,\"last\":%s}"
+                     row.qr_worker row.qr_changes (jf row.qr_min)
+                     (jf row.qr_max) (jf row.qr_last))
+                 q.qs_rows))));
   Buffer.add_string b "}\n";
   Buffer.contents b
 

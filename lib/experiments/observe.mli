@@ -49,6 +49,27 @@ type steal_split = {
           sorted *)
 }
 
+(** Adaptive-quantum attribution, reconstructed from
+    [Recorder.ev_quantum_change] events in dumps saved by an adaptive
+    fiber pool ([Config.adaptive]).  Each event carries (worker id, new
+    quantum in ns); per-worker change ordering is the ticker's emission
+    order (single writer).  See docs/observability.md for the event
+    schema. *)
+type quantum_row = {
+  qr_worker : int;
+  qr_changes : int;
+  qr_min : float;  (** smallest quantum reached, seconds *)
+  qr_max : float;  (** largest quantum reached, seconds *)
+  qr_last : float;  (** quantum at end of record, seconds *)
+}
+
+type quantum_split = {
+  qs_changes : int;
+  qs_shrinks : int;  (** changes that tightened the quantum *)
+  qs_grows : int;  (** changes that relaxed it back toward base *)
+  qs_rows : quantum_row list;  (** per worker, sorted by worker id *)
+}
+
 type report = {
   r_events : Preempt_core.Recorder.event array;
   r_emitted : int;  (** events emitted over the recorder's lifetime *)
@@ -62,6 +83,9 @@ type report = {
   r_steals : steal_split option;
       (** [None] when the record carries no pool-steal events (the
           simulated runtime never emits them) *)
+  r_quanta : quantum_split option;
+      (** [None] when the record carries no quantum-change events
+          (fixed-interval pools, simulated runtime) *)
 }
 
 val of_runtime : Preempt_core.Runtime.t -> report

@@ -14,6 +14,9 @@ type subpool = {
 type t = {
   domains : int;
   preempt_interval : float option;
+  adaptive : bool;
+  quantum_min : float option;
+  quantum_max : float option;
   subpools : subpool list;
   recorder_enabled : bool;
   recorder_capacity : int;
@@ -34,6 +37,25 @@ let validate t =
   | Some dt when dt <= 0.0 ->
       reject "preempt_interval" (Printf.sprintf "%g" dt) "positive"
   | _ -> ());
+  (* Adaptive-quantum knobs.  The bounds are rejected whenever they are
+     nonsensical — even on a non-adaptive pool, where they are merely
+     dormant — so a typo fails fast instead of surfacing only once
+     [adaptive] is flipped on. *)
+  (match t.quantum_min with
+  | Some q when q <= 0.0 || Float.is_nan q ->
+      reject "quantum_min" (Printf.sprintf "%g" q) "positive"
+  | _ -> ());
+  (match t.quantum_max with
+  | Some q when q <= 0.0 || Float.is_nan q ->
+      reject "quantum_max" (Printf.sprintf "%g" q) "positive"
+  | _ -> ());
+  (match (t.quantum_min, t.quantum_max) with
+  | Some lo, Some hi when lo > hi ->
+      reject "quantum_min" (Printf.sprintf "%g" lo)
+        (Printf.sprintf "<= quantum_max (%g)" hi)
+  | _ -> ());
+  if t.adaptive && t.preempt_interval = None then
+    reject "adaptive" "true" "combined with preempt_interval";
   if t.recorder_capacity < 1 then
     reject "recorder_capacity" (string_of_int t.recorder_capacity) "positive";
   if t.subpools = [] then reject "subpools" "[]" "non-empty";
@@ -69,8 +91,8 @@ let validate t =
              (t.domains - 1) w))
     owner
 
-let make ?domains ?preempt_interval ?subpools ?(recorder = false)
-    ?(recorder_capacity = 4096) () =
+let make ?domains ?preempt_interval ?(adaptive = false) ?quantum_min
+    ?quantum_max ?subpools ?(recorder = false) ?(recorder_capacity = 4096) () =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let subpools =
     match subpools with
@@ -83,6 +105,9 @@ let make ?domains ?preempt_interval ?subpools ?(recorder = false)
     {
       domains;
       preempt_interval;
+      adaptive;
+      quantum_min;
+      quantum_max;
       subpools;
       recorder_enabled = recorder;
       recorder_capacity;

@@ -124,10 +124,20 @@ type subpool_stats = {
   st_overflow_in : int;  (** tasks members took from other sub-pools *)
   st_overflow_out : int;  (** tasks other sub-pools took from here *)
   st_pending : int;  (** scheduler length snapshot *)
+  st_quanta : (int * float) list;
+      (** [(worker id, current preemption quantum in seconds)] per
+          member, slot order.  Pinned at [preempt_interval] on a
+          fixed-interval pool ([0.] without a ticker); on an adaptive
+          pool ({!Config.t}[.adaptive]) it tracks the per-worker
+          quantum the {!Quantum} controller last chose. *)
 }
 
 (** One entry per sub-pool, in configuration order. *)
 val stats : pool -> subpool_stats list
+
+(** True iff the pool was built with [Config.adaptive] (per-worker
+    quanta driven by the {!Quantum} controller). *)
+val adaptive : pool -> bool
 
 (** The pool's flight recorder (armed via [Config.recorder]): every
     successful steal emits [Recorder.ev_pool_steal] with (thief

@@ -236,6 +236,32 @@ let test_fiber_config_validation () =
       ignore
         (Fiber.Config.make ~domains:2 ~subpools:[ sp ~name:"a" ~workers:[ 0 ] () ] ()))
 
+(* The adaptive-quantum knobs speak the same contract: bounds must be
+   sane even when merely latent on a non-adaptive pool, and [adaptive]
+   is meaningless without a base [preempt_interval] to adapt. *)
+let test_fiber_quantum_config_validation () =
+  Alcotest.check_raises "zero quantum_min"
+    (Invalid_argument "Config: quantum_min = 0 (must be positive)") (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:1 ~preempt_interval:1e-3 ~quantum_min:0.0 ()));
+  Alcotest.check_raises "negative quantum_max"
+    (Invalid_argument "Config: quantum_max = -0.002 (must be positive)")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:1 ~preempt_interval:1e-3
+           ~quantum_max:(-0.002) ()));
+  Alcotest.check_raises "inverted quantum bounds"
+    (Invalid_argument
+       "Config: quantum_min = 0.003 (must be <= quantum_max (0.002))")
+    (fun () ->
+      ignore
+        (Fiber.Config.make ~domains:1 ~preempt_interval:1e-3 ~quantum_min:0.003
+           ~quantum_max:0.002 ()));
+  Alcotest.check_raises "adaptive without a base interval"
+    (Invalid_argument
+       "Config: adaptive = true (must be combined with preempt_interval)")
+    (fun () -> ignore (Fiber.Config.make ~domains:1 ~adaptive:true ()))
+
 (* The deprecated [Fiber.create] shim still builds a working pool — one
    "default" sub-pool spanning every worker under the work-stealing
    scheduler — so historical call sites compile and run unchanged. *)
@@ -243,6 +269,8 @@ let test_fiber_create_shim () =
   let pool = Fiber.create ~domains:2 () in
   Alcotest.(check (list string)) "one default sub-pool" [ "default" ]
     (Fiber.subpools pool);
+  Alcotest.(check bool) "shim pools are never adaptive" false
+    (Fiber.adaptive pool);
   Alcotest.(check int) "domains" 2 (Fiber.domains pool);
   let v = Fiber.run pool (fun () -> Fiber.await (Fiber.spawn (fun () -> 41 + 1))) in
   Alcotest.(check int) "shim pool runs" 42 v;
@@ -250,6 +278,22 @@ let test_fiber_create_shim () =
   | [ st ] ->
       Alcotest.(check string) "ws scheduler" "ws" st.Fiber.st_sched;
       Alcotest.(check int) "both workers" 2 st.Fiber.st_workers
+  | sts -> Alcotest.fail (Printf.sprintf "%d stats rows, expected 1" (List.length sts)));
+  Fiber.shutdown pool;
+  (* [?preempt_interval] through the shim still means a fixed-interval
+     pool: non-adaptive, every worker's quantum pinned at the
+     interval. *)
+  let pool = Fiber.create ~domains:2 ~preempt_interval:1e-3 () in
+  Alcotest.(check bool) "preempting shim pool stays non-adaptive" false
+    (Fiber.adaptive pool);
+  (match Fiber.stats pool with
+  | [ st ] ->
+      Alcotest.(check int) "quantum per member" 2
+        (List.length st.Fiber.st_quanta);
+      List.iter
+        (fun (_, q) ->
+          Alcotest.(check (float 0.0)) "quantum pinned at the interval" 1e-3 q)
+        st.Fiber.st_quanta
   | sts -> Alcotest.fail (Printf.sprintf "%d stats rows, expected 1" (List.length sts)));
   Fiber.shutdown pool
 
@@ -290,5 +334,7 @@ let suite =
     Alcotest.test_case "Abt.init strategy/suspend knobs" `Quick test_abt_init_strategies;
     Alcotest.test_case "Fiber.Config validation shape" `Quick
       test_fiber_config_validation;
+    Alcotest.test_case "Fiber.Config quantum knobs" `Quick
+      test_fiber_quantum_config_validation;
     Alcotest.test_case "Fiber.create shim" `Quick test_fiber_create_shim;
   ]

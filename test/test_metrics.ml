@@ -65,6 +65,51 @@ let test_hist_add_count_percentile () =
   let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 (H.nonzero h) in
   Alcotest.(check int) "nonzero covers all" 100 total
 
+(* The interpolating estimator's edge cases: the serving report leans
+   on p99.9, which routinely asks for a rank beyond the last occupied
+   bucket of a small histogram. *)
+let test_quantile_edges () =
+  let h = H.create () in
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Metrics.Hist.quantile: empty histogram") (fun () ->
+      ignore (H.quantile h 50.0));
+  (* Single occupied bucket: every quantile interpolates inside that
+     bucket's bounds and stays monotone in p. *)
+  for _ = 1 to 7 do
+    H.add h 1e-6
+  done;
+  let lo, hi = H.bucket_bounds (H.bucket_of 1e-6) in
+  let prev = ref 0.0 in
+  List.iter
+    (fun p ->
+      let q = H.quantile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "single bucket: q(%g) within bucket bounds" p)
+        true
+        (q >= lo && q <= hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "single bucket: q(%g) monotone in p" p)
+        true (q >= !prev);
+      prev := q)
+    [ 0.0; 50.0; 99.0; 99.9; 100.0 ];
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Metrics.Hist.quantile: p outside [0,100]") (fun () ->
+      ignore (H.quantile h 100.5));
+  (* A p99.9 rank beyond the last occupied bucket resolves inside that
+     bucket (never scans past it), even with samples split across
+     buckets below. *)
+  let h = H.create () in
+  for _ = 1 to 9 do
+    H.add h 1e-6
+  done;
+  H.add h 1e-4;
+  let lo, hi = H.bucket_bounds (H.bucket_of 1e-4) in
+  let q = H.quantile h 99.9 in
+  Alcotest.(check bool) "p99.9 lands in the last occupied bucket" true
+    (q >= lo && q <= hi);
+  Alcotest.(check bool) "quantile within a bucket of percentile" true
+    (Float.abs (q -. H.percentile h 99.9) <= hi -. lo)
+
 (* ------------------------------------------------------------------ *)
 (* Runtime integration. *)
 
@@ -221,6 +266,7 @@ let suite =
     Alcotest.test_case "bucket edges exact" `Quick test_bucket_boundaries;
     Alcotest.test_case "bucket extremes" `Quick test_bucket_extremes;
     Alcotest.test_case "hist add/percentile" `Quick test_hist_add_count_percentile;
+    Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
     Alcotest.test_case "counters monotone + nonzero" `Quick test_counters_monotonic_and_nonzero;
     Alcotest.test_case "snapshot deterministic" `Quick test_snapshot_deterministic;
     Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;

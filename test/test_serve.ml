@@ -1,0 +1,255 @@
+(* Deterministic tests for the serving workload's pure pieces: the
+   adaptive-quantum controller (a pure function of a queueing
+   snapshot), the seeded arrival schedule, the config rejections, and
+   the shared re-measure-once perf gate.  Nothing here builds a pool,
+   spawns a domain, or reads the wall clock — the suite is exact and
+   single-threaded by construction. *)
+
+module Q = Serve.Quantum
+module G = Experiments.Gate
+
+let feq msg expected actual =
+  Alcotest.(check (float 1e-12)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Quantum controller. *)
+
+let snap ?(current = 2e-3) ?(base = 2e-3) ?(q_min = 2.5e-4) ?(q_max = 2e-3)
+    ?(depth = 0) ?(members = 1) () =
+  {
+    Q.q_current = current;
+    q_base = base;
+    q_min;
+    q_max;
+    q_depth = depth;
+    q_members = members;
+  }
+
+let test_quantum_monotone_in_depth () =
+  (* Deeper queue, equal-or-shorter quantum — across a wide depth
+     sweep, from the base quantum. *)
+  let prev = ref infinity in
+  for depth = 0 to 64 do
+    let q = Q.next (snap ~depth ()) in
+    Alcotest.(check bool)
+      (Printf.sprintf "next at depth %d <= next at depth %d" depth (depth - 1))
+      true
+      (q <= !prev);
+    prev := q
+  done;
+  (* Strictly shorter as soon as there is any backlog. *)
+  let q0 = Q.next (snap ~depth:0 ()) in
+  let q1 = Q.next (snap ~depth:1 ()) in
+  Alcotest.(check bool) "backlog shrinks the quantum" true (q1 < q0)
+
+let test_quantum_respects_bounds () =
+  (* A huge backlog pins the quantum at the floor, never below. *)
+  let q = Q.next (snap ~depth:1_000_000 ()) in
+  feq "huge depth clamps to q_min" 2.5e-4 q;
+  (* Even from a stale over-range current, the result obeys the
+     ceiling. *)
+  let q = Q.next (snap ~current:1.0 ~depth:0 ~q_max:2e-3 ()) in
+  Alcotest.(check bool) "never exceeds q_max" true (q <= 2e-3);
+  let q = Q.next (snap ~current:1e-9 ~depth:5 ()) in
+  Alcotest.(check bool) "never drops below q_min" true (q >= 2.5e-4)
+
+let test_quantum_members_soften_backlog () =
+  (* The same backlog split across more workers shrinks less. *)
+  let solo = Q.next (snap ~depth:8 ~members:1 ()) in
+  let team = Q.next (snap ~depth:8 ~members:4 ()) in
+  Alcotest.(check bool) "more members, longer quantum" true (team > solo)
+
+let test_quantum_idle_decay () =
+  (* From the floor, each idle decision halves the gap to base and
+     snaps onto base once within 1% — so it converges exactly, fast. *)
+  let base = 2e-3 in
+  let q = ref 2.5e-4 in
+  let steps = ref 0 in
+  while !q <> base && !steps < 64 do
+    let next = Q.next (snap ~current:!q ~base ~depth:0 ()) in
+    Alcotest.(check bool) "idle decay moves toward base" true (next > !q);
+    q := next;
+    incr steps
+  done;
+  feq "idle decay reaches base exactly (1% snap)" base !q;
+  Alcotest.(check bool)
+    (Printf.sprintf "half-gap decay converges quickly (%d steps)" !steps)
+    true (!steps <= 10)
+
+let test_quantum_base_fixpoint () =
+  (* At base with an empty queue the controller holds still. *)
+  feq "base is a fixpoint at depth 0" 2e-3
+    (Q.next (snap ~current:2e-3 ~base:2e-3 ~depth:0 ()))
+
+let test_quantum_defaults () =
+  feq "default floor is base/8" 2.5e-4 (Q.default_min ~base:2e-3);
+  feq "default ceiling is base" 2e-3 (Q.default_max ~base:2e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival schedule: pure, seeded, ascending. *)
+
+let small =
+  { Serve.default with Serve.rate = 5_000.0; duration = 0.05; seed = 7 }
+
+let test_schedule_deterministic () =
+  let a = Serve.schedule small and b = Serve.schedule small in
+  Alcotest.(check bool) "equal configs give identical schedules" true (a = b);
+  let c = Serve.schedule { small with Serve.seed = 8 } in
+  Alcotest.(check bool) "a different seed moves the arrivals" true (a <> c)
+
+let check_rows name rows duration =
+  Alcotest.(check bool) (name ^ ": non-empty") true (Array.length rows > 0);
+  Array.iteri
+    (fun i (t, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: row %d offset in [0, duration)" name i)
+        true
+        (t >= 0.0 && t < duration);
+      if i > 0 then
+        let tp, _ = rows.(i - 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: row %d ascending" name i)
+          true (t >= tp))
+    rows
+
+let test_schedule_shape () =
+  check_rows "poisson" (Serve.schedule small) small.Serve.duration;
+  let bursty =
+    {
+      small with
+      Serve.arrival = Serve.Bursty { period = 0.01; on_frac = 0.25 };
+    }
+  in
+  check_rows "bursty" (Serve.schedule bursty) bursty.Serve.duration
+
+let test_schedule_class_purity () =
+  let all cls rows = Array.for_all (fun (_, c) -> c = cls) rows in
+  Alcotest.(check bool) "long_frac 0 offers only Short" true
+    (all Serve.Short (Serve.schedule { small with Serve.long_frac = 0.0 }));
+  Alcotest.(check bool) "long_frac 1 offers only Long" true
+    (all Serve.Long (Serve.schedule { small with Serve.long_frac = 1.0 }))
+
+let test_schedule_bursty_on_window () =
+  let period = 0.01 and on_frac = 0.25 in
+  let rows =
+    Serve.schedule
+      { small with Serve.arrival = Serve.Bursty { period; on_frac } }
+  in
+  Array.iteri
+    (fun i (t, _) ->
+      let phase = Float.rem t period in
+      Alcotest.(check bool)
+        (Printf.sprintf "bursty row %d lands inside the on-window" i)
+        true
+        (phase <= (period *. on_frac) +. 1e-9))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Config rejections: exact "Serve: <field> = <value> (must be ...)"
+   strings, so the CLI error surface is pinned. *)
+
+let check_rejects msg config =
+  Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+      Serve.validate config)
+
+let test_validate_rejections () =
+  check_rejects "Serve: rate = 0 (must be positive)"
+    { small with Serve.rate = 0.0 };
+  check_rejects "Serve: duration = -1 (must be positive)"
+    { small with Serve.duration = -1.0 };
+  check_rejects "Serve: long_frac = 2 (must be within 0..1)"
+    { small with Serve.long_frac = 2.0 };
+  check_rejects "Serve: short_service = 0 (must be positive)"
+    { small with Serve.short_service = 0.0 };
+  check_rejects "Serve: long_service = -0.001 (must be positive)"
+    { small with Serve.long_service = -0.001 };
+  check_rejects "Serve: arrival.period = 0 (must be positive)"
+    { small with Serve.arrival = Serve.Bursty { period = 0.0; on_frac = 0.5 } };
+  check_rejects "Serve: arrival.on_frac = 0 (must be within (0, 1])"
+    { small with Serve.arrival = Serve.Bursty { period = 0.1; on_frac = 0.0 } };
+  check_rejects "Serve: arrival.on_frac = 1.5 (must be within (0, 1])"
+    { small with Serve.arrival = Serve.Bursty { period = 0.1; on_frac = 1.5 } }
+
+(* ------------------------------------------------------------------ *)
+(* The shared re-measure-once perf gate, driven by stub measurements
+   so every branch is exercised without a single wall-clock read. *)
+
+let counting_remeasure value =
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    value
+  in
+  (f, calls)
+
+let test_gate_pass_no_retry () =
+  let remeasure, calls = counting_remeasure 9.9 in
+  (match G.ratio_gate ~host_cores:8 ~minimum:2.0 ~remeasure 3.0 with
+  | G.Pass { ratio; retried } ->
+      feq "passing first sample is reported" 3.0 ratio;
+      Alcotest.(check bool) "no retry on a clean pass" false retried
+  | _ -> Alcotest.fail "expected Pass");
+  Alcotest.(check int) "remeasure never called" 0 !calls
+
+let test_gate_retry_pass () =
+  let remeasure, calls = counting_remeasure 2.5 in
+  (match G.ratio_gate ~host_cores:8 ~minimum:2.0 ~remeasure 1.2 with
+  | G.Pass { ratio; retried } ->
+      feq "retry's ratio is reported" 2.5 ratio;
+      Alcotest.(check bool) "marked as retried" true retried
+  | _ -> Alcotest.fail "expected Pass after retry");
+  Alcotest.(check int) "remeasure called exactly once" 1 !calls
+
+let test_gate_retry_fail () =
+  let remeasure, calls = counting_remeasure 1.5 in
+  (match G.ratio_gate ~host_cores:8 ~minimum:2.0 ~remeasure 1.2 with
+  | G.Fail { ratio } -> feq "failure carries the retry's ratio" 1.5 ratio
+  | _ -> Alcotest.fail "expected Fail");
+  Alcotest.(check int) "remeasure called exactly once" 1 !calls
+
+let test_gate_skip_below_cores () =
+  let remeasure, calls = counting_remeasure 9.9 in
+  (match
+     G.ratio_gate ~required_cores:4 ~host_cores:2 ~minimum:2.0 ~remeasure 0.5
+   with
+  | G.Skipped { ratio; cores } ->
+      feq "skip still reports the measured ratio" 0.5 ratio;
+      Alcotest.(check int) "skip reports the host's cores" 2 cores
+  | _ -> Alcotest.fail "expected Skipped below required_cores");
+  Alcotest.(check int) "no remeasure on skip" 0 !calls;
+  (* A skip — unlike a failure — does not fail the smoke run. *)
+  Alcotest.(check bool) "report treats skip as success" true
+    (G.report ~name:"stub" ~minimum:2.0 (G.Skipped { ratio = 0.5; cores = 2 }));
+  Alcotest.(check bool) "report treats fail as failure" false
+    (G.report ~name:"stub" ~minimum:2.0 (G.Fail { ratio = 0.5 }))
+
+let suite =
+  [
+    Alcotest.test_case "quantum monotone in depth" `Quick
+      test_quantum_monotone_in_depth;
+    Alcotest.test_case "quantum respects min/max" `Quick
+      test_quantum_respects_bounds;
+    Alcotest.test_case "quantum members soften backlog" `Quick
+      test_quantum_members_soften_backlog;
+    Alcotest.test_case "quantum idle decay to base" `Quick
+      test_quantum_idle_decay;
+    Alcotest.test_case "quantum base fixpoint" `Quick
+      test_quantum_base_fixpoint;
+    Alcotest.test_case "quantum bound defaults" `Quick test_quantum_defaults;
+    Alcotest.test_case "schedule deterministic in seed" `Quick
+      test_schedule_deterministic;
+    Alcotest.test_case "schedule ascending within horizon" `Quick
+      test_schedule_shape;
+    Alcotest.test_case "schedule class purity at 0/1" `Quick
+      test_schedule_class_purity;
+    Alcotest.test_case "bursty arrivals stay in on-window" `Quick
+      test_schedule_bursty_on_window;
+    Alcotest.test_case "config rejections" `Quick test_validate_rejections;
+    Alcotest.test_case "gate: pass without retry" `Quick
+      test_gate_pass_no_retry;
+    Alcotest.test_case "gate: transient fail then retry pass" `Quick
+      test_gate_retry_pass;
+    Alcotest.test_case "gate: fail on retry" `Quick test_gate_retry_fail;
+    Alcotest.test_case "gate: skip below core floor" `Quick
+      test_gate_skip_below_cores;
+  ]
