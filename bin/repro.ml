@@ -170,7 +170,8 @@ let observe =
 (* ------------------------------------------------------------------ *)
 
 let serve_main rate duration mix arrival burst_period burst_on seed domains
-    preempt fixed quantum_min quantum_max json chrome dump =
+    preempt fixed quantum_min quantum_max json chrome dump top top_json
+    top_period =
   let fail msg =
     prerr_endline ("repro serve: " ^ msg);
     exit 1
@@ -198,10 +199,22 @@ let serve_main rate duration mix arrival burst_period burst_on seed domains
       quantum_min;
       quantum_max;
       recorder = chrome <> None || dump <> None;
+      telemetry = top || top_json;
     }
   in
   (try Serve.validate cfg with Invalid_argument m -> fail m);
-  let rep = Serve.run ?dump cfg in
+  (* The live view emits its final frame at drain time, before the
+     post-run report prints, so the two don't interleave. *)
+  let on_pool =
+    if top || top_json then
+      Some
+        (fun pool ->
+          Top.attach ~period:top_period
+            ~mode:(if top_json then Top.Jsonl else Top.Text)
+            pool)
+    else None
+  in
+  let rep = Serve.run ?dump ?on_pool cfg in
   (match dump with
   | Some path -> Printf.eprintf "flight record written to %s\n%!" path
   | None -> ());
@@ -326,11 +339,103 @@ let serve =
             "Arm the flight recorder and save the run's binary flight record \
              to $(docv), for $(b,repro observe --load) attribution.")
   in
+  let top =
+    Arg.(
+      value & flag
+      & info [ "top" ]
+          ~doc:
+            "Arm live telemetry and redraw a $(b,repro top) terminal view \
+             (per-sub-pool worker tables, queue-depth sparklines, rolling \
+             per-class quantiles) while the workload runs.")
+  in
+  let top_json =
+    Arg.(
+      value & flag
+      & info [ "top-json" ]
+          ~doc:
+            "Like $(b,--top) but emit one JSON object per tick (JSONL) \
+             instead of redrawing the terminal.")
+  in
+  let top_period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "top-period" ] ~docv:"S"
+          ~doc:"Live-view redraw period in seconds (default 1).")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_main $ rate $ duration $ mix $ arrival $ burst_period
       $ burst_on $ seed $ domains $ preempt $ fixed $ quantum_min
-      $ quantum_max $ json $ chrome $ dump)
+      $ quantum_max $ json $ chrome $ dump $ top $ top_json $ top_period)
+
+(* ------------------------------------------------------------------ *)
+(* repro top — live telemetry view over a self-driven workload        *)
+(* ------------------------------------------------------------------ *)
+
+let top_main rate duration domains json period =
+  let fail msg =
+    prerr_endline ("repro top: " ^ msg);
+    exit 1
+  in
+  let d = Serve.default in
+  let cfg =
+    {
+      d with
+      Serve.rate;
+      duration;
+      domains = Option.value domains ~default:d.Serve.domains;
+      telemetry = true;
+    }
+  in
+  (try Serve.validate cfg with Invalid_argument m -> fail m);
+  let on_pool pool =
+    Top.attach ~period ~mode:(if json then Top.Jsonl else Top.Text) pool
+  in
+  ignore (Serve.run ~on_pool cfg : Serve.report)
+
+let top_cmd =
+  let doc =
+    "Live telemetry view: drive the default serving workload \
+     ($(b,repro serve)) with per-worker time-series sampling armed and \
+     redraw per-sub-pool worker tables, queue-depth sparklines, the \
+     steal split, the adaptive-quanta range, and rolling per-class \
+     p50/p99 once a second until the run drains.  $(b,--json) swaps the \
+     terminal redraw for one JSON object per tick (JSONL).  The same \
+     view attaches to any serving run via $(b,repro serve --top)."
+  in
+  let rate =
+    Arg.(
+      value & opt float Serve.default.Serve.rate
+      & info [ "rate" ] ~docv:"REQ_PER_S"
+          ~doc:"Offered arrival rate in requests/second.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"S"
+          ~doc:"Injection horizon in seconds (default 5).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Pool size incl. the injector worker (default: available cores).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object per tick (JSONL).")
+  in
+  let period =
+    Arg.(
+      value & opt float 1.0
+      & info [ "period" ] ~docv:"S"
+          ~doc:"Redraw period in seconds (default 1).")
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const top_main $ rate $ duration $ domains $ json $ period)
 
 (* ------------------------------------------------------------------ *)
 (* repro check — schedule exploration / fault injection (lib/check)    *)
@@ -681,4 +786,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; observe; serve; check; env ]))
+          [ fig4; fig6; table1; fig7; fig8; fig9; sec351; all; observe; serve; top_cmd; check; env ]))

@@ -115,6 +115,16 @@ module Hist = struct
 
   let copy t = { counts = Array.copy t.counts; n = t.n; total = t.total }
 
+  (* Bucket-wise sum.  The bucket table is a compile-time constant, so
+     two histograms built by this module always agree on shape; the
+     length check guards histograms that crossed a dump/decode boundary
+     (or a future table change) from silently mis-merging. *)
+  let merge a b =
+    if Array.length a.counts <> Array.length b.counts then
+      invalid_arg "Metrics.Hist.merge: bucket shape mismatch";
+    let counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i)) in
+    { counts; n = a.n + b.n; total = a.total +. b.total }
+
   let clear t =
     Array.fill t.counts 0 n_buckets 0;
     t.n <- 0;

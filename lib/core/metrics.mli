@@ -77,6 +77,19 @@ module Hist : sig
   val quantile : t -> float -> float
 
   val copy : t -> t
+
+  (** Zero every bucket, the count and the sum (shape is untouched). *)
+  val clear : t -> unit
+
+  (** [merge a b] — a fresh histogram whose every bucket holds
+      [bucket_count a i + bucket_count b i], with summed [count] and
+      [sum].  Neither input is modified.  Because the bucket table is
+      fixed, quantiles of the merge are exactly the quantiles of the
+      pooled sample stream — this is the supported way to aggregate
+      per-worker or per-class histograms.
+      @raise Invalid_argument if the two histograms disagree on bucket
+      shape. *)
+  val merge : t -> t -> t
 end
 
 (** Per-worker event counters.  The runtime bumps these directly on its

@@ -66,6 +66,23 @@ let ev_quantum_change = 23
    worker's quantum — the ticker is the only writer of the global
    ring there, so worker-local rings stay single-writer. *)
 
+(* Per-request span events, emitted by the serving workload (lib/serve)
+   through [Fiber.emit_flight].  [a] is always the request id; every
+   event lands in the ring of the worker that emitted it, so the ring
+   index doubles as the worker attribution. *)
+
+let ev_req_arrival = 24 (* a = request id, b = service class (0 short / 1 long) *)
+
+let ev_req_enqueue = 25 (* a = request id (submitted to the pool) *)
+
+let ev_req_dispatch = 26 (* a = request id (first instruction of the body) *)
+
+let ev_req_preempt = 27 (* a = request id (preemption flag observed; yielding) *)
+
+let ev_req_resume = 28 (* a = request id (running again after the yield) *)
+
+let ev_req_done = 29 (* a = request id, b = measured sojourn in ns *)
+
 let code_name = function
   | 1 -> "spawn"
   | 2 -> "ready"
@@ -90,6 +107,12 @@ let code_name = function
   | 21 -> "klt-block"
   | 22 -> "pool-steal"
   | 23 -> "quantum-change"
+  | 24 -> "req-arrival"
+  | 25 -> "req-enqueue"
+  | 26 -> "req-dispatch"
+  | 27 -> "req-preempt"
+  | 28 -> "req-resume"
+  | 29 -> "req-done"
   | c -> Printf.sprintf "code%d" c
 
 (* ------------------------------------------------------------------ *)
@@ -138,6 +161,19 @@ let n_rings t = Array.length t.rings
 let global_ring t = Array.length t.rings - 1
 
 let total_emitted t = Array.fold_left (fun acc r -> acc + r.r_count) 0 t.rings
+
+(* Events lost to wraparound: everything emitted past [capacity]
+   overwrote the ring's oldest record.  Zero until the ring wraps. *)
+let overwritten t ring =
+  let r = t.rings.(ring) in
+  Stdlib.max 0 (r.r_count - t.capacity)
+
+let total_overwritten t =
+  let acc = ref 0 in
+  for ring = 0 to n_rings t - 1 do
+    acc := !acc + overwritten t ring
+  done;
+  !acc
 
 let clear t =
   Array.iter (fun r -> r.r_count <- 0) t.rings;
@@ -232,7 +268,12 @@ let save t ~path =
   output_string oc (encode t);
   close_out oc
 
-type dump = { d_n_rings : int; d_capacity : int; d_events : event array }
+type dump = {
+  d_n_rings : int;
+  d_capacity : int;
+  d_events : event array;
+  d_overwritten : int array;  (* per ring: events lost to wraparound *)
+}
 
 let decode s =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
@@ -250,11 +291,15 @@ let decode s =
       let out = ref [] in
       let ok = ref true in
       let err = ref "" in
+      let lost = Array.make n_rings 0 in
       (try
          for ring = 0 to n_rings - 1 do
            if !pos + 8 > len then failwith "truncated ring header";
            let count = u32 !pos and stored = u32 (!pos + 4) in
            pos := !pos + 8;
+           (* The writer stores min(count, capacity) records; the excess
+              was overwritten in place before the dump was taken. *)
+           lost.(ring) <- Stdlib.max 0 (count - stored);
            if stored < 0 || stored > cap || !pos + (stored * 28) > len then
              failwith "truncated ring body";
            for k = 0 to stored - 1 do
@@ -276,7 +321,7 @@ let decode s =
       else begin
         let all = Array.of_list (List.rev !out) in
         Array.sort order all;
-        Ok { d_n_rings = n_rings; d_capacity = cap; d_events = all }
+        Ok { d_n_rings = n_rings; d_capacity = cap; d_events = all; d_overwritten = lost }
       end
     end
   end

@@ -98,6 +98,40 @@ val ev_quantum_change : int
     into the {e global} ring — the ticker thread is its only writer
     there, keeping every worker ring single-writer. *)
 
+(** {2 Per-request span codes}
+
+    Emitted by the serving workload ([lib/serve]) through
+    [Fiber.emit_flight]; [a] is always the request id and the ring an
+    event lands in names the worker that emitted it.  Together the six
+    codes decompose a request's sojourn into queueing (arrival ->
+    dispatch), service (dispatch -> done minus yields) and
+    preemption-overhead (each preempt -> resume gap). *)
+
+val ev_req_arrival : int
+(** Request's {e scheduled} arrival ([a] = request id, [b] = service
+    class, 0 short / 1 long).  Emitted by the injector with the
+    schedule's offset as the timestamp, so injector lateness shows up
+    as arrival -> enqueue gap. *)
+
+val ev_req_enqueue : int
+(** Request submitted to the pool ([a] = request id). *)
+
+val ev_req_dispatch : int
+(** First instruction of the request body ([a] = request id). *)
+
+val ev_req_preempt : int
+(** Request observed its worker's preemption flag and is about to
+    yield ([a] = request id). *)
+
+val ev_req_resume : int
+(** Request running again after a preemption yield ([a] = request
+    id). *)
+
+val ev_req_done : int
+(** Request completed ([a] = request id, [b] = measured sojourn in
+    nanoseconds — derived from the same clock read as the workload's
+    latency sample, so span totals and the sojourn histogram agree). *)
+
 val code_name : int -> string
 (** Short stable name of an event code (["spawn"], ["preempt-req"], …). *)
 
@@ -137,6 +171,14 @@ val global_ring : t -> int
 val total_emitted : t -> int
 (** Events emitted over the recorder's lifetime (not just retained). *)
 
+val overwritten : t -> int -> int
+(** [overwritten t ring] — events of [ring] lost to wraparound
+    (emitted past [capacity], overwriting the oldest records).  Zero
+    until the ring wraps. *)
+
+val total_overwritten : t -> int
+(** Sum of {!overwritten} over all rings. *)
+
 val clear : t -> unit
 
 val emit : t -> int -> float -> int -> int -> int -> unit
@@ -173,7 +215,16 @@ val encode : t -> string
 
 val save : t -> path:string -> unit
 
-type dump = { d_n_rings : int; d_capacity : int; d_events : event array }
+type dump = {
+  d_n_rings : int;
+  d_capacity : int;
+  d_events : event array;
+  d_overwritten : int array;
+      (** per ring: events lost to wraparound before the dump was
+          taken, recovered from the ring headers' [total_count -
+          stored] (no format change) — lets analyses label truncated
+          attributions instead of presenting them as complete *)
+}
 
 val decode : string -> (dump, string) result
 

@@ -145,6 +145,99 @@ let of_trace ~cores ?metrics ?t_end trace =
 
 let flight_pid = 2
 
+(* Per-request lanes (serving-workload dumps): requests render as a
+   separate Perfetto process, one lane per request id, with its span
+   events ([ev_req_arrival] .. [ev_req_done]) reconstructed into
+   queued / running / preempted slices. *)
+let request_pid = 3
+
+let request_events (evs : Preempt_core.Recorder.event array) ~t_end push =
+  let open Preempt_core in
+  let req_evs =
+    Array.to_list evs
+    |> List.filter (fun (e : Recorder.event) ->
+           let c = e.Recorder.e_code in
+           c >= Recorder.ev_req_arrival && c <= Recorder.ev_req_done)
+    |> List.stable_sort (fun (a : Recorder.event) (b : Recorder.event) ->
+           compare a.Recorder.e_ts b.Recorder.e_ts)
+  in
+  if req_evs = [] then false
+  else begin
+    (* Walk each request's events in time order; slices open at a state
+       change and close at the next (or at t_end when the tail of the
+       span was lost to ring wraparound). *)
+    let state = Hashtbl.create 64 in
+    (* req -> (slice name, open ts) *)
+    let ids = Hashtbl.create 64 in
+    let close req t1 =
+      match Hashtbl.find_opt state req with
+      | Some (name, t0) when t1 >= t0 ->
+          Hashtbl.remove state req;
+          push
+            {
+              name;
+              cat = "request";
+              ph = "X";
+              ts = us t0;
+              dur = Some (us (t1 -. t0));
+              pid = request_pid;
+              tid = req;
+              args = [];
+            }
+      | Some _ -> Hashtbl.remove state req
+      | None -> ()
+    in
+    List.iter
+      (fun (e : Recorder.event) ->
+        let c = e.Recorder.e_code and req = e.Recorder.e_a in
+        let ts = e.Recorder.e_ts in
+        if not (Hashtbl.mem ids req) then Hashtbl.replace ids req e.Recorder.e_b;
+        if c = Recorder.ev_req_arrival || c = Recorder.ev_req_enqueue then begin
+          if not (Hashtbl.mem state req) then
+            Hashtbl.replace state req ("queued", ts)
+        end
+        else if c = Recorder.ev_req_dispatch || c = Recorder.ev_req_resume
+        then begin
+          close req ts;
+          Hashtbl.replace state req ("running", ts)
+        end
+        else if c = Recorder.ev_req_preempt then begin
+          close req ts;
+          Hashtbl.replace state req ("preempted", ts)
+        end
+        else if c = Recorder.ev_req_done then close req ts)
+      req_evs;
+    (* Slices still open lost their closing event to wraparound; extend
+       them to the end of the record so the lane stays visible. *)
+    Hashtbl.iter (fun req _ -> close req t_end) (Hashtbl.copy state);
+    push
+      {
+        name = "process_name";
+        cat = "__metadata";
+        ph = "M";
+        ts = 0.0;
+        dur = None;
+        pid = request_pid;
+        tid = 0;
+        args = [ ("name", A_str "requests") ];
+      };
+    Hashtbl.iter
+      (fun req _ ->
+        push
+          {
+            name = "thread_name";
+            cat = "__metadata";
+            ph = "M";
+            ts = 0.0;
+            dur = None;
+            pid = request_pid;
+            tid = req;
+            args = [ ("name", A_str (Printf.sprintf "req%d" req)) ];
+          })
+      ids;
+    true
+  end
+
 let of_flight (evs : Preempt_core.Recorder.event array) =
   let open Preempt_core in
   let t_end = Array.fold_left (fun acc e -> Float.max acc e.Recorder.e_ts) 0.0 evs in
@@ -198,6 +291,7 @@ let of_flight (evs : Preempt_core.Recorder.event array) =
               ];
           })
     evs;
+  ignore (request_events evs ~t_end push : bool);
   if !events <> [] then begin
     push
       {

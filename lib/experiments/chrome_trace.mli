@@ -49,7 +49,15 @@ val of_trace :
     preemption machinery (timer fires, signal posts, preemption
     requests/completions, steals, KLT remaps).  Uses [pid = 2], so the
     result can be appended to an {!of_trace} list (which uses [pid = 1])
-    and viewed in one Perfetto session. *)
+    and viewed in one Perfetto session.
+
+    When the record carries per-request span events
+    ([Recorder.ev_req_arrival] .. [ev_req_done], emitted by a
+    recorder-armed serving run), the requests additionally render as a
+    third Perfetto process ([pid = 3], named "requests"): one lane per
+    request id with queued / running / preempted slices reconstructed
+    from its span events.  Slices whose closing event was overwritten
+    by ring wraparound extend to the end of the record. *)
 val of_flight : Preempt_core.Recorder.event array -> event list
 
 (** Serialize to the Chrome JSON Object Format. *)

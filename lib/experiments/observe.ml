@@ -97,11 +97,45 @@ type quantum_split = {
   qs_rows : quantum_row list;  (** per worker, sorted by worker id *)
 }
 
+(* Per-request span decomposition (serving-workload dumps): each
+   request's [ev_req_arrival .. ev_req_done] events split its sojourn
+   into queueing (arrival -> first dispatch), preemption overhead
+   (each preempt -> resume gap) and service (the rest).  The stage sum
+   is compared bucket-for-bucket against the measured sojourn the
+   workload stored in [ev_req_done]'s payload — both derive from the
+   same clock reads, so a complete span verifies exactly. *)
+type span_row = {
+  sr_req : int;
+  sr_class : int;  (** service class from [ev_req_arrival]; -1 unknown *)
+  sr_queue : float;  (** arrival -> first dispatch, seconds *)
+  sr_service : float;  (** dispatch -> done minus overhead *)
+  sr_overhead : float;  (** sum of preempt -> resume gaps *)
+  sr_preempts : int;  (** bracketed preemption yields *)
+  sr_total : float;  (** stage sum = queue + service + overhead *)
+  sr_sojourn : float;  (** measured sojourn ([ev_req_done].b), NaN if lost *)
+  sr_exact : bool;  (** bucket(stage sum) = bucket(measured sojourn) *)
+}
+
+type span_split = {
+  spn_requests : int;  (** distinct request ids seen in the record *)
+  spn_complete : int;  (** spans with arrival, dispatch and done intact *)
+  spn_verified : int;  (** complete spans whose stage sum reproduces the
+                           measured sojourn bucket-for-bucket *)
+  spn_queue : Metrics.Hist.t;  (** queueing stage over complete spans *)
+  spn_service : Metrics.Hist.t;
+  spn_overhead : Metrics.Hist.t;
+  spn_total : Metrics.Hist.t;  (** stage sums over complete spans *)
+  spn_rows : span_row list;  (** complete spans, slowest first *)
+}
+
 type report = {
   r_events : Recorder.event array;
   r_emitted : int;
   r_rings : int;
   r_capacity : int;
+  r_overwritten : int array;
+      (** per ring: events lost to wraparound; non-empty counts mean
+          reconstructions below may be truncated *)
   r_lifecycles : Recorder.lifecycle list;
   r_chains : Recorder.chain list;
   r_rows : row list;  (** chains grouped by preempted uid *)
@@ -113,6 +147,9 @@ type report = {
   r_quanta : quantum_split option;
       (** [None] when the record carries no quantum-change events
           (fixed-interval pools, simulated runtime) *)
+  r_spans : span_split option;
+      (** [None] when the record carries no per-request span events
+          (anything but a recorder-armed serving run) *)
 }
 
 let rows_of_chains chains =
@@ -226,7 +263,133 @@ let quantum_split_of events =
         qs_rows = rows;
       }
 
-let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
+(* Walking state per request while scanning the (ts-ordered) event
+   stream. *)
+type span_acc = {
+  mutable sa_class : int;
+  mutable sa_arrival : float;
+  mutable sa_dispatch : float;
+  mutable sa_done : float;
+  mutable sa_sojourn_ns : int;
+  mutable sa_pending : float;  (* open preempt, NaN if none *)
+  mutable sa_overhead : float;
+  mutable sa_preempts : int;
+}
+
+let span_split_of events =
+  let tbl : (int, span_acc) Hashtbl.t = Hashtbl.create 256 in
+  let get req =
+    match Hashtbl.find_opt tbl req with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            sa_class = -1;
+            sa_arrival = Float.nan;
+            sa_dispatch = Float.nan;
+            sa_done = Float.nan;
+            sa_sojourn_ns = -1;
+            sa_pending = Float.nan;
+            sa_overhead = 0.0;
+            sa_preempts = 0;
+          }
+        in
+        Hashtbl.add tbl req a;
+        a
+  in
+  Array.iter
+    (fun (e : Recorder.event) ->
+      let code = e.Recorder.e_code in
+      if code >= Recorder.ev_req_arrival && code <= Recorder.ev_req_done then begin
+        let a = get e.Recorder.e_a in
+        let ts = e.Recorder.e_ts in
+        if code = Recorder.ev_req_arrival then begin
+          a.sa_arrival <- ts;
+          a.sa_class <- e.Recorder.e_b
+        end
+        else if code = Recorder.ev_req_dispatch then begin
+          if Float.is_nan a.sa_dispatch then a.sa_dispatch <- ts
+        end
+        else if code = Recorder.ev_req_preempt then a.sa_pending <- ts
+        else if code = Recorder.ev_req_resume then begin
+          if not (Float.is_nan a.sa_pending) then begin
+            a.sa_overhead <- a.sa_overhead +. Float.max 0.0 (ts -. a.sa_pending);
+            a.sa_preempts <- a.sa_preempts + 1;
+            a.sa_pending <- Float.nan
+          end
+        end
+        else if code = Recorder.ev_req_done then begin
+          a.sa_done <- ts;
+          a.sa_sojourn_ns <- e.Recorder.e_b
+        end
+      end)
+    events;
+  if Hashtbl.length tbl = 0 then None
+  else begin
+    let queue_h = Metrics.Hist.create () in
+    let service_h = Metrics.Hist.create () in
+    let overhead_h = Metrics.Hist.create () in
+    let total_h = Metrics.Hist.create () in
+    let rows = ref [] in
+    let complete = ref 0 in
+    let verified = ref 0 in
+    Hashtbl.iter
+      (fun req a ->
+        if
+          not
+            (Float.is_nan a.sa_arrival
+            || Float.is_nan a.sa_dispatch
+            || Float.is_nan a.sa_done)
+        then begin
+          incr complete;
+          let queue = a.sa_dispatch -. a.sa_arrival in
+          let busy = a.sa_done -. a.sa_dispatch in
+          let service = busy -. a.sa_overhead in
+          let total = queue +. service +. a.sa_overhead in
+          let sojourn =
+            if a.sa_sojourn_ns < 0 then Float.nan
+            else float_of_int a.sa_sojourn_ns *. 1e-9
+          in
+          let exact =
+            (not (Float.is_nan sojourn))
+            && Metrics.Hist.bucket_of total = Metrics.Hist.bucket_of sojourn
+          in
+          if exact then incr verified;
+          Metrics.Hist.add queue_h queue;
+          Metrics.Hist.add service_h service;
+          Metrics.Hist.add overhead_h a.sa_overhead;
+          Metrics.Hist.add total_h total;
+          rows :=
+            {
+              sr_req = req;
+              sr_class = a.sa_class;
+              sr_queue = queue;
+              sr_service = service;
+              sr_overhead = a.sa_overhead;
+              sr_preempts = a.sa_preempts;
+              sr_total = total;
+              sr_sojourn = sojourn;
+              sr_exact = exact;
+            }
+            :: !rows
+        end)
+      tbl;
+    Some
+      {
+        spn_requests = Hashtbl.length tbl;
+        spn_complete = !complete;
+        spn_verified = !verified;
+        spn_queue = queue_h;
+        spn_service = service_h;
+        spn_overhead = overhead_h;
+        spn_total = total_h;
+        spn_rows =
+          List.sort (fun x y -> compare y.sr_total x.sr_total) !rows;
+      }
+  end
+
+let analyze ?metrics ?(overwritten = [||]) ~n_workers ~rings ~capacity ~emitted
+    events =
   let chains, never = Recorder.attribute ~n_workers events in
   let timing = Recorder.detect_anomalies ~n_workers ~interval events in
   {
@@ -234,6 +397,7 @@ let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
     r_emitted = emitted;
     r_rings = rings;
     r_capacity = capacity;
+    r_overwritten = overwritten;
     r_lifecycles = Recorder.lifecycles events;
     r_chains = chains;
     r_rows = rows_of_chains chains;
@@ -241,12 +405,15 @@ let analyze ?metrics ~n_workers ~rings ~capacity ~emitted events =
     r_consistency = Option.bind metrics (consistency_of chains);
     r_steals = steal_split_of events;
     r_quanta = quantum_split_of events;
+    r_spans = span_split_of events;
   }
 
 let of_runtime rt =
   let rec_ = Runtime.recorder rt in
   analyze
     ~metrics:(Runtime.metrics rt)
+    ~overwritten:
+      (Array.init (Recorder.n_rings rec_) (Recorder.overwritten rec_))
     ~n_workers ~rings:(Recorder.n_rings rec_)
     ~capacity:(Recorder.capacity rec_)
     ~emitted:(Recorder.total_emitted rec_)
@@ -254,6 +421,7 @@ let of_runtime rt =
 
 let of_dump (d : Recorder.dump) =
   analyze
+    ~overwritten:d.Recorder.d_overwritten
     ~n_workers:(d.Recorder.d_n_rings - 1)
     ~rings:d.Recorder.d_n_rings ~capacity:d.Recorder.d_capacity
     ~emitted:(Array.length d.Recorder.d_events)
@@ -268,8 +436,21 @@ let ms v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" (v *. 1e3)
 let us v = v *. 1e6
 
 let print_text r =
-  Printf.printf "flight record: %d event(s) retained (%d rings x %d), %d emitted\n\n"
+  Printf.printf "flight record: %d event(s) retained (%d rings x %d), %d emitted\n"
     (Array.length r.r_events) r.r_rings r.r_capacity r.r_emitted;
+  let lost = Array.fold_left ( + ) 0 r.r_overwritten in
+  if lost > 0 then begin
+    Printf.printf
+      "  %d event(s) overwritten by ring wraparound — reconstructions below \
+       may be truncated\n"
+      lost;
+    Array.iteri
+      (fun ring n ->
+        if n > 0 then
+          Printf.printf "    ring %d: %d event(s) lost (oldest first)\n" ring n)
+      r.r_overwritten
+  end;
+  print_newline ();
   Printf.printf "per-ULT lifecycles\n";
   Printf.printf "  %4s %10s %11s %5s %9s %7s %7s %7s %9s\n" "uid" "spawn ms"
     "finish ms" "runs" "preempts" "yields" "blocks" "steals" "run ms";
@@ -330,6 +511,43 @@ let print_text r =
             row.qr_worker row.qr_changes (ms row.qr_min) (ms row.qr_max)
             (ms row.qr_last))
         q.qs_rows);
+  (match r.r_spans with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "\nper-request spans: %d request(s), %d complete, %d/%d verified \
+         (stage sum = measured sojourn, bucket-for-bucket)\n"
+        s.spn_requests s.spn_complete s.spn_verified s.spn_complete;
+      let stage name h =
+        if Metrics.Hist.count h > 0 then
+          Printf.printf
+            "  %-9s n=%-6d mean %9.1f us  p50 %9.1f us  p99 %9.1f us\n" name
+            (Metrics.Hist.count h)
+            (us (Metrics.Hist.mean h))
+            (us (Metrics.Hist.quantile h 50.0))
+            (us (Metrics.Hist.quantile h 99.0))
+      in
+      stage "queueing" s.spn_queue;
+      stage "service" s.spn_service;
+      stage "overhead" s.spn_overhead;
+      stage "sojourn" s.spn_total;
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      (match take 5 s.spn_rows with
+      | [] -> ()
+      | worst ->
+          Printf.printf "  slowest requests (us): %6s %5s %9s %9s %9s %8s %s\n"
+            "req" "class" "queue" "service" "overhead" "preempts" "ok";
+          List.iter
+            (fun row ->
+              Printf.printf
+                "                         %6d %5d %9.1f %9.1f %9.1f %8d %s\n"
+                row.sr_req row.sr_class (us row.sr_queue) (us row.sr_service)
+                (us row.sr_overhead) row.sr_preempts
+                (if row.sr_exact then "=" else "~"))
+            worst));
   Printf.printf "\nanomalies: %s\n"
     (if r.r_anomalies = [] then "none"
      else
@@ -382,8 +600,10 @@ let to_json r =
   Buffer.add_string b "{";
   Buffer.add_string b
     (Printf.sprintf
-       "\"events\":%d,\"rings\":%d,\"capacity\":%d,\"emitted\":%d,"
-       (Array.length r.r_events) r.r_rings r.r_capacity r.r_emitted);
+       "\"events\":%d,\"rings\":%d,\"capacity\":%d,\"emitted\":%d,\"overwritten\":[%s],"
+       (Array.length r.r_events) r.r_rings r.r_capacity r.r_emitted
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int r.r_overwritten))));
   Buffer.add_string b "\"lifecycles\":[";
   Buffer.add_string b
     (String.concat "," (List.map lc_json r.r_lifecycles));
@@ -432,6 +652,23 @@ let to_json r =
                      row.qr_worker row.qr_changes (jf row.qr_min)
                      (jf row.qr_max) (jf row.qr_last))
                  q.qs_rows))));
+  (match r.r_spans with
+  | None -> ()
+  | Some s ->
+      let stage h =
+        if Metrics.Hist.count h = 0 then "null"
+        else
+          Printf.sprintf "{\"n\":%d,\"mean\":%s,\"p50\":%s,\"p99\":%s}"
+            (Metrics.Hist.count h)
+            (jf (Metrics.Hist.mean h))
+            (jf (Metrics.Hist.quantile h 50.0))
+            (jf (Metrics.Hist.quantile h 99.0))
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"spans\":{\"requests\":%d,\"complete\":%d,\"verified\":%d,\"queueing\":%s,\"service\":%s,\"overhead\":%s,\"sojourn\":%s}"
+           s.spn_requests s.spn_complete s.spn_verified (stage s.spn_queue)
+           (stage s.spn_service) (stage s.spn_overhead) (stage s.spn_total)));
   Buffer.add_string b "}\n";
   Buffer.contents b
 

@@ -70,11 +70,49 @@ type quantum_split = {
   qs_rows : quantum_row list;  (** per worker, sorted by worker id *)
 }
 
+(** Per-request span decomposition, reconstructed from the
+    [Recorder.ev_req_arrival] .. [ev_req_done] events emitted by a
+    recorder-armed serving run ([Serve] with [recorder = true]).  The
+    request's sojourn splits into queueing (arrival -> first
+    dispatch), preemption overhead (each bracketed preempt -> resume
+    gap) and service (the rest); the stage sum is checked
+    bucket-for-bucket against the measured sojourn carried in
+    [ev_req_done]'s payload. *)
+type span_row = {
+  sr_req : int;
+  sr_class : int;  (** service class from [ev_req_arrival]; -1 unknown *)
+  sr_queue : float;  (** arrival -> first dispatch, seconds *)
+  sr_service : float;  (** dispatch -> done minus overhead *)
+  sr_overhead : float;  (** sum of preempt -> resume gaps *)
+  sr_preempts : int;  (** bracketed preemption yields *)
+  sr_total : float;  (** stage sum = queue + service + overhead *)
+  sr_sojourn : float;  (** measured sojourn ([ev_req_done].b), NaN if lost *)
+  sr_exact : bool;  (** bucket(stage sum) = bucket(measured sojourn) *)
+}
+
+type span_split = {
+  spn_requests : int;  (** distinct request ids seen in the record *)
+  spn_complete : int;  (** spans with arrival, dispatch and done intact *)
+  spn_verified : int;
+      (** complete spans whose stage sum reproduces the measured
+          sojourn bucket-for-bucket *)
+  spn_queue : Preempt_core.Metrics.Hist.t;
+      (** queueing stage over complete spans *)
+  spn_service : Preempt_core.Metrics.Hist.t;
+  spn_overhead : Preempt_core.Metrics.Hist.t;
+  spn_total : Preempt_core.Metrics.Hist.t;
+      (** stage sums over complete spans *)
+  spn_rows : span_row list;  (** complete spans, slowest first *)
+}
+
 type report = {
   r_events : Preempt_core.Recorder.event array;
   r_emitted : int;  (** events emitted over the recorder's lifetime *)
   r_rings : int;
   r_capacity : int;
+  r_overwritten : int array;
+      (** per ring: events lost to wraparound; non-zero counts mean
+          reconstructions below may be truncated *)
   r_lifecycles : Preempt_core.Recorder.lifecycle list;
   r_chains : Preempt_core.Recorder.chain list;
   r_rows : row list;  (** chains grouped by preempted uid *)
@@ -86,6 +124,9 @@ type report = {
   r_quanta : quantum_split option;
       (** [None] when the record carries no quantum-change events
           (fixed-interval pools, simulated runtime) *)
+  r_spans : span_split option;
+      (** [None] when the record carries no per-request span events
+          (anything but a recorder-armed serving run) *)
 }
 
 val of_runtime : Preempt_core.Runtime.t -> report

@@ -33,6 +33,16 @@ type t = {
   subpools : subpool list;
   recorder_enabled : bool;
   recorder_capacity : int;
+  telemetry_enabled : bool;
+      (** live per-worker time-series sampling
+          ({!Preempt_core.Telemetry}) driven by the preemption ticker;
+          requires [preempt_interval] *)
+  telemetry_capacity : int;  (** points per worker ring *)
+  telemetry_every : int;
+      (** sample every N ticker sweeps (≈ every N quanta) *)
+  telemetry_channels : int;
+      (** sliding-window sojourn sketches per worker (the serving
+          workload uses one per service class) *)
 }
 
 (** [subpool ~name ~workers ()] — [sched] defaults to {!Scheduler.ws},
@@ -55,7 +65,12 @@ val subpool :
     [[quantum_min, quantum_max]] (both positive; defaults
     [preempt_interval /. 8.] and [preempt_interval]); [recorder]
     (default off) arms the flight recorder with [recorder_capacity]
-    events per worker ring (default 4096).
+    events per worker ring (default 4096); [telemetry] (default off,
+    requires [preempt_interval]) arms live time-series sampling with
+    [telemetry_capacity] points per worker ring (default 256), sampled
+    every [telemetry_every] ticker sweeps (default 4), with
+    [telemetry_channels] sojourn-window sketches per worker (default
+    2).
 
     @raise Invalid_argument with the uniform message above when a field
     is out of range ([quantum_min <= 0], [quantum_min > quantum_max],
@@ -70,6 +85,10 @@ val make :
   ?subpools:subpool list ->
   ?recorder:bool ->
   ?recorder_capacity:int ->
+  ?telemetry:bool ->
+  ?telemetry_capacity:int ->
+  ?telemetry_every:int ->
+  ?telemetry_channels:int ->
   unit ->
   t
 

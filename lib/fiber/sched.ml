@@ -24,6 +24,14 @@ type worker = {
   mutable w_spawned : int;
   mutable w_local_steals : int;
   mutable w_overflow_in : int;
+  (* Park accounting, owner-written on the park slow path only (the
+     spin path never touches them): parks/wakes count condvar sleeps,
+     [w_idle_s] accumulates the seconds spent inside them.  The
+     telemetry sampler differences [w_idle_s] between sweeps to derive
+     utilization. *)
+  mutable w_parks : int;
+  mutable w_wakes : int;
+  mutable w_idle_s : float;
   pad_keep : int array;
   mutable pad0 : int;
   mutable pad1 : int;
@@ -62,6 +70,8 @@ type pool = {
   preempt_count : int Atomic.t;
   recorder : Preempt_core.Recorder.t;
   rec_t0 : float; (* wall-clock origin of recorder timestamps *)
+  telemetry : Preempt_core.Telemetry.t;
+  tel_every : int; (* sample every N ticker sweeps *)
 }
 
 (* Promise state machine: one atomic word, CAS [Pending -> Resolved /
@@ -401,8 +411,13 @@ let worker_loop pool w ~until =
         r
     | None ->
         Mutex.lock sp.sp_lock;
-        if Atomic.get sp.sp_epoch = e && not (stop ()) then
+        if Atomic.get sp.sp_epoch = e && not (stop ()) then begin
+          w.w_parks <- w.w_parks + 1;
+          let t0 = Unix.gettimeofday () in
           Condition.wait sp.sp_cond sp.sp_lock;
+          w.w_idle_s <- w.w_idle_s +. (Unix.gettimeofday () -. t0);
+          w.w_wakes <- w.w_wakes + 1
+        end;
         Mutex.unlock sp.sp_lock;
         Atomic.decr sp.sp_sleepers;
         Atomic.decr pool.total_sleepers;
@@ -420,10 +435,57 @@ let worker_loop pool w ~until =
 
 let domain_main pool w = worker_loop pool w ~until:(fun () -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry sampling.  The sampler rides the preemption ticker: every
+   [pool.tel_every] sweeps it stores one point per worker into the
+   telemetry rings (making the ticker thread the rings' single
+   writer).  All inputs are racy plain-counter reads — Telemetry
+   clamps transients — and utilization is derived by differencing each
+   worker's cumulative park-idle seconds against the previous sweep,
+   using sampler-private state.  Every [tel_rotate] samples the
+   sliding sojourn windows rotate, so the rolling sketches cover
+   between one and two rotation periods. *)
+
+let tel_rotate = 32
+
+let make_sampler pool =
+  let tel = pool.telemetry in
+  let n = Array.length pool.workers in
+  let prev_idle = Array.make n 0.0 in
+  let prev_ts = ref (Unix.gettimeofday ()) in
+  let samples = ref 0 in
+  fun () ->
+    let now = Unix.gettimeofday () in
+    let ts = now -. pool.rec_t0 in
+    let dt = now -. !prev_ts in
+    Array.iter
+      (fun w ->
+        let sp = pool.subpools.(w.w_sp) in
+        let idle = w.w_idle_s in
+        let util =
+          if dt <= 0.0 then 1.0 else 1.0 -. ((idle -. prev_idle.(w.wid)) /. dt)
+        in
+        prev_idle.(w.wid) <- idle;
+        Preempt_core.Telemetry.sample tel ~worker:w.wid ~ts
+          ~depth:(sp.inst.i_length ())
+          ~steals_in:(w.w_local_steals + w.w_overflow_in)
+          ~steals_out:(Atomic.get sp.sp_stolen_away)
+          ~parks:w.w_parks ~wakes:w.w_wakes ~quantum:w.w_quantum ~util)
+      pool.workers;
+    prev_ts := now;
+    incr samples;
+    if !samples mod tel_rotate = 0 then Preempt_core.Telemetry.rotate_windows tel
+
 let ticker_loop pool interval =
+  let tel = pool.telemetry in
+  let sampler = make_sampler pool in
+  let sweeps = ref 0 in
   while not (Atomic.get pool.shutdown) do
     Thread.delay interval;
-    Array.iter (fun w -> Atomic.set w.preempt true) pool.workers
+    Array.iter (fun w -> Atomic.set w.preempt true) pool.workers;
+    incr sweeps;
+    if Preempt_core.Telemetry.enabled tel && !sweeps mod pool.tel_every = 0 then
+      sampler ()
   done
 
 (* Adaptive ticker: each worker keeps its own expiry deadline.  When a
@@ -442,6 +504,9 @@ let ticker_adaptive pool interval ~q_min ~q_max =
   let now0 = Unix.gettimeofday () in
   let deadline = Array.make n (now0 +. interval) in
   let r = pool.recorder in
+  let tel = pool.telemetry in
+  let sampler = make_sampler pool in
+  let sweeps = ref 0 in
   while not (Atomic.get pool.shutdown) do
     let now = Unix.gettimeofday () in
     let nearest = ref infinity in
@@ -474,6 +539,9 @@ let ticker_adaptive pool interval ~q_min ~q_max =
         end;
         if deadline.(i) < !nearest then nearest := deadline.(i))
       pool.workers;
+    incr sweeps;
+    if Preempt_core.Telemetry.enabled tel && !sweeps mod pool.tel_every = 0 then
+      sampler ();
     let sleep = !nearest -. Unix.gettimeofday () in
     Thread.delay (Float.min interval (Float.max (q_min /. 4.0) sleep))
   done
@@ -536,6 +604,9 @@ let make (cfg : Config.t) =
           w_spawned = 0;
           w_local_steals = 0;
           w_overflow_in = 0;
+          w_parks = 0;
+          w_wakes = 0;
+          w_idle_s = 0.0;
           pad0 = 0;
           pad1 = 0;
           pad2 = 0;
@@ -552,6 +623,19 @@ let make (cfg : Config.t) =
     Preempt_core.Recorder.set_enabled r cfg.Config.recorder_enabled;
     r
   in
+  let telemetry =
+    (* Same discipline as the recorder: a disabled telemetry keeps only
+       token rings (and no windows) so it costs no memory. *)
+    let capacity =
+      if cfg.Config.telemetry_enabled then cfg.Config.telemetry_capacity else 4
+    in
+    let channels =
+      if cfg.Config.telemetry_enabled then cfg.Config.telemetry_channels else 0
+    in
+    let t = Preempt_core.Telemetry.create ~n_workers:n ~capacity ~channels in
+    Preempt_core.Telemetry.set_enabled t cfg.Config.telemetry_enabled;
+    t
+  in
   let pool =
     {
       workers;
@@ -565,6 +649,8 @@ let make (cfg : Config.t) =
       preempt_count = Atomic.make 0;
       recorder;
       rec_t0 = Unix.gettimeofday ();
+      telemetry;
+      tel_every = cfg.Config.telemetry_every;
     }
   in
   (* Worker 0 is the caller inside [run]; spawn domains for the rest. *)
@@ -595,6 +681,49 @@ let preemptions pool = Atomic.get pool.preempt_count
 
 let recorder pool = pool.recorder
 
+let telemetry pool = pool.telemetry
+
+(* True while the current worker's preemption flag is raised, without
+   consuming it: one DLS read plus one atomic load.  Lets a workload
+   bracket the [check ()] it is about to take with span events —
+   benignly racy (a flag raised after the load is simply seen by the
+   next probe). *)
+let preempt_pending () =
+  match Domain.DLS.get current_worker with
+  | Some (_, w) -> Atomic.get w.preempt
+  | None -> false
+
+(* Emit a flight event from inside a fiber into the current worker's
+   ring — the fiber runs on exactly one worker at a time, so the ring
+   stays single-writer.  No-op outside a worker or with the recorder
+   disabled (one boolean load).  [at] is an absolute wall-clock time
+   overriding "now", for events whose logical time precedes the call
+   (e.g. a request's scheduled arrival). *)
+let emit_flight ?at code a b =
+  match Domain.DLS.get current_worker with
+  | Some (pool, w) ->
+      let r = pool.recorder in
+      if Preempt_core.Recorder.enabled r then
+        let wall = match at with Some t -> t | None -> Unix.gettimeofday () in
+        Preempt_core.Recorder.emit r w.wid (wall -. pool.rec_t0) code a b
+  | None -> ()
+
+(* Feed the current worker's sliding sojourn window for [channel].
+   Called on the worker that completed the request, so each window
+   keeps its single writer.  No-op outside a worker or with telemetry
+   disabled. *)
+let telemetry_observe ~channel v =
+  match Domain.DLS.get current_worker with
+  | Some (pool, w) ->
+      let tel = pool.telemetry in
+      if Preempt_core.Telemetry.enabled tel then
+        Preempt_core.Telemetry.observe tel ~worker:w.wid ~channel v
+  | None -> ()
+
+(* Wall-clock origin of recorder/telemetry timestamps, for callers
+   that emit events with [~at] or align external clocks. *)
+let clock_origin pool = pool.rec_t0
+
 type subpool_stats = {
   st_name : string;
   st_sched : string;
@@ -623,15 +752,20 @@ let stats pool =
              local := !local + w.w_local_steals;
              ovin := !ovin + w.w_overflow_in)
            sp.sp_members;
+         (* The sums above read plain owner-written cells while the
+            owners keep bumping them; clamp negative transients the
+            same way [Deque.length] does so a concurrent sampler never
+            reports a negative count. *)
+         let c v = Stdlib.max 0 v in
          {
            st_name = sp.sp_name;
            st_sched = sp.inst.i_name;
            st_workers = Array.length sp.sp_members;
-           st_spawned = !spawned;
-           st_local_steals = !local;
-           st_overflow_in = !ovin;
-           st_overflow_out = Atomic.get sp.sp_stolen_away;
-           st_pending = sp.inst.i_length ();
+           st_spawned = c !spawned;
+           st_local_steals = c !local;
+           st_overflow_in = c !ovin;
+           st_overflow_out = c (Atomic.get sp.sp_stolen_away);
+           st_pending = c (sp.inst.i_length ());
            st_quanta =
              Array.to_list
                (Array.map

@@ -114,7 +114,9 @@ val parallel_map : ('a -> 'b) -> 'a list -> 'b list
 (** {1 Observability} *)
 
 (** Per-sub-pool counters, aggregated racily from per-worker cells
-    (stale by a few operations under load; exact once quiescent). *)
+    (stale by a few operations under load; exact once quiescent).
+    Negative transients from torn reads are clamped to 0, so a
+    concurrent sampler always sees well-formed counts. *)
 type subpool_stats = {
   st_name : string;
   st_sched : string;  (** scheduler name, e.g. ["ws"] *)
@@ -145,3 +147,42 @@ val adaptive : pool -> bool
     dump lets [repro observe --load] attribute cross-sub-pool overflow
     separately from local steals. *)
 val recorder : pool -> Preempt_core.Recorder.t
+
+(** The pool's live telemetry (armed via [Config.telemetry]): the
+    preemption ticker samples every worker's state — run-queue depth,
+    steals in/out, park/wake counts, current quantum, utilization since
+    the last sample — into fixed-capacity per-worker time-series rings
+    every [Config.telemetry_every] sweeps.  The live view ([repro top])
+    reads it while the pool runs; disabled it costs one boolean load
+    per ticker sweep and nothing on any worker's path. *)
+val telemetry : pool -> Preempt_core.Telemetry.t
+
+(** Wall-clock origin of recorder and telemetry timestamps (the
+    instant the pool was built), for callers aligning external clocks
+    or emitting events with {!emit_flight}[ ~at]. *)
+val clock_origin : pool -> float
+
+(** True while the current worker's preemption flag is raised, without
+    consuming it — one atomic load.  Lets a workload bracket the
+    {!check} it is about to take with span events.  Benignly racy: a
+    flag raised after the load is seen by the next probe.  [false]
+    outside a worker. *)
+val preempt_pending : unit -> bool
+
+(** [emit_flight ?at code a b] — emit a flight event from inside a
+    fiber into the {e current worker's} ring (a fiber runs on exactly
+    one worker at a time, so rings stay single-writer).  No-op outside
+    a worker or with the recorder disabled.  [at] is an absolute
+    wall-clock time overriding "now", for events whose logical time
+    precedes the call (e.g. a request's scheduled arrival); it is
+    translated to the recorder's clock via {!clock_origin}.  The
+    serving workload uses this for its per-request span codes
+    ([Recorder.ev_req_arrival] ... [ev_req_done]). *)
+val emit_flight : ?at:float -> int -> int -> int -> unit
+
+(** [telemetry_observe ~channel v] — add a sojourn sample to the
+    current worker's sliding window for [channel] (the serving
+    workload uses one channel per service class).  Single-writer per
+    window by construction; no-op outside a worker or with telemetry
+    disabled. *)
+val telemetry_observe : channel:int -> float -> unit

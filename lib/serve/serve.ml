@@ -50,6 +50,7 @@ type config = {
   quantum_min : float option;
   quantum_max : float option;
   recorder : bool;  (* arm the flight recorder (steals, quantum moves) *)
+  telemetry : bool;  (* arm live telemetry (per-worker time series) *)
 }
 
 let default =
@@ -67,6 +68,7 @@ let default =
     quantum_min = None;
     quantum_max = None;
     recorder = false;
+    telemetry = false;
   }
 
 let reject field value requirement =
@@ -91,7 +93,10 @@ let validate c =
         reject "arrival.period" (Printf.sprintf "%g" period) "positive";
       if not (on_frac > 0.0 && on_frac <= 1.0) then
         reject "arrival.on_frac" (Printf.sprintf "%g" on_frac)
-          "within (0, 1]")
+          "within (0, 1]");
+  (* The telemetry sampler rides the preemption ticker. *)
+  if c.telemetry && c.preempt_interval = None then
+    reject "telemetry" "true" "combined with preempt_interval"
 
 (* ------------------------------------------------------------------ *)
 (* Arrival schedule: (arrival offset, class) rows, offset-ascending,
@@ -203,15 +208,23 @@ let class_report ~cls ~offered lat =
 (* ------------------------------------------------------------------ *)
 (* The run itself. *)
 
-let run ?dump c =
+let cls_id = function Short -> 0 | Long -> 1
+
+let run ?dump ?on_pool c =
   let sched = schedule c in
   let n = Array.length sched in
   let pool =
     Fiber.make
       (Fiber.Config.make ~domains:c.domains ?preempt_interval:c.preempt_interval
          ~adaptive:c.adaptive ?quantum_min:c.quantum_min
-         ?quantum_max:c.quantum_max ~recorder:c.recorder ())
+         ?quantum_max:c.quantum_max ~recorder:c.recorder
+         ~telemetry:c.telemetry ())
   in
+  let stop_live = match on_pool with Some f -> f pool | None -> fun () -> () in
+  (* Per-request span tracing rides the flight recorder; [traced] is
+     captured once so an untraced run pays nothing per request. *)
+  let traced = Preempt_core.Recorder.enabled (Fiber.recorder pool) in
+  let module R = Preempt_core.Recorder in
   (* Per-request sojourn, written by the request fiber into its own
      slot (disjoint writes, no shared histogram on the hot path). *)
   let lat = Array.make (Stdlib.max 1 n) Float.nan in
@@ -232,14 +245,44 @@ let run ?dump c =
         let service =
           match cls with Short -> c.short_service | Long -> c.long_service
         in
+        let ch = cls_id cls in
+        (* Span head: the request id is the schedule index, allocated
+           here at injection and carried into the fiber by capture.
+           Arrival is stamped at the *scheduled* instant, so injector
+           lateness shows up as an arrival -> enqueue gap. *)
+        if traced then begin
+          Fiber.emit_flight ~at:due R.ev_req_arrival i ch;
+          Fiber.emit_flight R.ev_req_enqueue i 0
+        end;
         promises.(i) <-
           Some
             (Fiber.submit pool (fun () ->
+                 if traced then Fiber.emit_flight R.ev_req_dispatch i 0;
                  let deadline = wall () +. service in
                  while wall () < deadline do
-                   Fiber.check ()
+                   if traced && Fiber.preempt_pending () then begin
+                     (* Bracket the yield we are about to take so the
+                        span decomposition can attribute the gap to
+                        preemption overhead.  Benignly racy: a flag
+                        raised between the probe and [check] is taken
+                        unbracketed and lands in service time. *)
+                     Fiber.emit_flight R.ev_req_preempt i 0;
+                     Fiber.check ();
+                     Fiber.emit_flight R.ev_req_resume i 0
+                   end
+                   else Fiber.check ()
                  done;
-                 lat.(i) <- wall () -. due))
+                 (* One clock read feeds the latency sample, the span
+                    completion timestamp and its sojourn payload, so
+                    the decomposition reproduces the measured sojourn
+                    exactly. *)
+                 let tdone = wall () in
+                 let sojourn = tdone -. due in
+                 lat.(i) <- sojourn;
+                 if traced then
+                   Fiber.emit_flight ~at:tdone R.ev_req_done i
+                     (int_of_float (sojourn *. 1e9));
+                 Fiber.telemetry_observe ~channel:ch sojourn))
       done;
       Array.iter (function Some p -> Fiber.await p | None -> ()) promises);
   let elapsed = wall () -. !t0 in
@@ -258,6 +301,7 @@ let run ?dump c =
     end
     else [||]
   in
+  stop_live ();
   Fiber.shutdown pool;
   let split cls0 =
     let lat' = Array.make (Stdlib.max 1 n) Float.nan in
@@ -327,7 +371,18 @@ let print_text r =
       (us cr.cr_p50) (us cr.cr_p99) (us cr.cr_p999)
   in
   line r.r_short;
-  line r.r_long
+  line r.r_long;
+  (* Cross-class aggregate: one bucket-wise merge instead of
+     re-bucketing the pooled samples. *)
+  let all = Hist.merge r.r_short.cr_hist r.r_long.cr_hist in
+  if Hist.count all > 0 then
+    Printf.printf
+      "  %-5s %7d/%d done  mean %9.1f us  p50 %9.1f us  p99 %9.1f us  p99.9 \
+       %9.1f us\n"
+      "all" (Hist.count all) r.r_offered (us (Hist.mean all))
+      (us (quantile_or_nan all 50.0))
+      (us (quantile_or_nan all 99.0))
+      (us (quantile_or_nan all 99.9))
 
 let jf v =
   if Float.is_nan v then "null"
@@ -342,12 +397,22 @@ let to_json r =
       cr.cr_offered cr.cr_completed (jf cr.cr_mean) (jf cr.cr_p50)
       (jf cr.cr_p99) (jf cr.cr_p999)
   in
+  let all = Hist.merge r.r_short.cr_hist r.r_long.cr_hist in
+  let all_json =
+    Printf.sprintf
+      "{\"completed\":%d,\"mean_s\":%s,\"p50_s\":%s,\"p99_s\":%s,\"p999_s\":%s}"
+      (Hist.count all)
+      (jf (if Hist.count all = 0 then Float.nan else Hist.mean all))
+      (jf (quantile_or_nan all 50.0))
+      (jf (quantile_or_nan all 99.0))
+      (jf (quantile_or_nan all 99.9))
+  in
   Printf.sprintf
-    "{\"rate\":%s,\"duration\":%s,\"arrival\":%S,\"long_frac\":%s,\"domains\":%d,\"adaptive\":%b,\"preempt_interval_s\":%s,\"offered\":%d,\"completed\":%d,\"elapsed_s\":%s,\"preemptions\":%d,\"quantum_lo_s\":%s,\"quantum_hi_s\":%s,\"short\":%s,\"long\":%s}\n"
+    "{\"rate\":%s,\"duration\":%s,\"arrival\":%S,\"long_frac\":%s,\"domains\":%d,\"adaptive\":%b,\"preempt_interval_s\":%s,\"offered\":%d,\"completed\":%d,\"elapsed_s\":%s,\"preemptions\":%d,\"quantum_lo_s\":%s,\"quantum_hi_s\":%s,\"short\":%s,\"long\":%s,\"overall\":%s}\n"
     (jf c.rate) (jf c.duration)
     (match c.arrival with Poisson -> "poisson" | Bursty _ -> "bursty")
     (jf c.long_frac) c.domains c.adaptive
     (match c.preempt_interval with None -> "null" | Some dt -> jf dt)
     r.r_offered r.r_completed (jf r.r_elapsed) r.r_preemptions
     (jf r.r_quantum_lo) (jf r.r_quantum_hi) (cls_json r.r_short)
-    (cls_json r.r_long)
+    (cls_json r.r_long) all_json

@@ -43,6 +43,10 @@ type config = {
   quantum_min : float option;
   quantum_max : float option;
   recorder : bool;  (** arm the flight recorder for the run *)
+  telemetry : bool;
+      (** arm live telemetry ({!Preempt_core.Telemetry}): per-worker
+          time-series sampling plus per-class rolling sojourn windows;
+          requires [preempt_interval] *)
 }
 
 (** 20k req/s Poisson for 1 s, 5% long (2 ms) / 95% short (20 us),
@@ -81,7 +85,11 @@ type report = {
   r_quantum_hi : float;  (** max worker quantum at drain time *)
   r_subpools : Fiber.subpool_stats list;
   r_flight : Preempt_core.Recorder.event array;
-      (** flight events (steals, quantum changes) when [recorder] *)
+      (** flight events when [recorder]: steals, quantum changes, and
+          per-request spans ([Recorder.ev_req_arrival] ...
+          [ev_req_done]) — every request id is its schedule index, and
+          its sojourn decomposes into queueing / service / preemption
+          overhead from the span timestamps alone *)
 }
 
 (** Build the pool, inject the schedule open-loop, await every
@@ -89,10 +97,17 @@ type report = {
     design — this is the load generator, not a unit test.  [?dump]
     saves the flight record ({!Preempt_core.Recorder.save}) before
     teardown when the recorder is armed, for [repro observe --load]
-    attribution. *)
-val run : ?dump:string -> config -> report
+    attribution.  [?on_pool] is called with the freshly built pool
+    before injection starts (the live-view attach point, see
+    {!Top.attach}); the closure it returns is called after the run
+    drains, before pool teardown. *)
+val run : ?dump:string -> ?on_pool:(Fiber.pool -> unit -> unit) -> config -> report
 
 val cls_name : cls -> string
+
+(** Stable channel/class id: [Short] = 0, [Long] = 1 — the telemetry
+    channel and the [b] payload of [Recorder.ev_req_arrival]. *)
+val cls_id : cls -> int
 
 val print_text : report -> unit
 

@@ -156,8 +156,104 @@ let preempt_smoke ~domains =
   Printf.printf "preempt smoke: %d greedy fibers on %d domains, %d preemptions\n%!"
     finished domains preempted
 
+(* ------------------------------------------------------------------ *)
+(* 4. Concurrent stats sampler: [Fiber.stats] reads racy plain
+   counters while workers mutate them (spawn / steal / complete), so
+   individual reads can tear mid-update; the snapshot clamp must keep
+   every published field nonnegative no matter when the sampler
+   lands.  A dedicated domain hammers the snapshot for the whole
+   run — the same access pattern as the [repro top] display thread. *)
+
+let stats_sampler_smoke ~domains ~rounds =
+  let pool = Fiber.create ~domains ~preempt_interval:0.002 () in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let snapshots = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          List.iter
+            (fun st ->
+              Atomic.incr snapshots;
+              if
+                st.Fiber.st_pending < 0
+                || st.Fiber.st_spawned < 0
+                || st.Fiber.st_local_steals < 0
+                || st.Fiber.st_overflow_in < 0
+                || st.Fiber.st_overflow_out < 0
+              then Atomic.incr bad)
+            (Fiber.stats pool)
+        done)
+  in
+  for _round = 1 to rounds do
+    let n =
+      Fiber.run pool (fun () ->
+          let ps =
+            List.init 32 (fun i ->
+                Fiber.spawn (fun () ->
+                    Fiber.yield ();
+                    i))
+          in
+          List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+    in
+    if n <> 32 * 31 / 2 then fail "stats sampler: round sum %d" n
+  done;
+  Atomic.set stop true;
+  Domain.join sampler;
+  Fiber.shutdown pool;
+  if Atomic.get bad > 0 then
+    fail "stats sampler: %d negative snapshot field(s)" (Atomic.get bad);
+  Printf.printf
+    "stats sampler: %d snapshots against %d rounds, every field >= 0\n%!"
+    (Atomic.get snapshots) rounds
+
+(* ------------------------------------------------------------------ *)
+(* 5. Span round-trip: a small recorder+telemetry serving run, dumped
+   and re-analyzed, must decompose every complete request span into
+   queueing + service + preemption overhead whose sum reproduces the
+   measured sojourn bucket-for-bucket — the exactness [repro observe]
+   advertises. *)
+
+let serve_span_smoke () =
+  let cfg =
+    {
+      Serve.default with
+      Serve.rate = 2000.0;
+      duration = 0.25;
+      domains = 3;
+      recorder = true;
+      telemetry = true;
+    }
+  in
+  let path = Filename.temp_file "serve_span_smoke" ".flt" in
+  let rep = Serve.run ~dump:path cfg in
+  if rep.Serve.r_completed <> rep.Serve.r_offered then
+    fail "span smoke: %d/%d requests completed" rep.Serve.r_completed
+      rep.Serve.r_offered;
+  let d =
+    match Preempt_core.Recorder.load ~path with
+    | Ok d -> d
+    | Error e -> fail "span smoke: dump does not decode: %s" e
+  in
+  Sys.remove path;
+  match (Experiments.Observe.of_dump d).Experiments.Observe.r_spans with
+  | None -> fail "span smoke: no span section in the observe report"
+  | Some s ->
+      let open Experiments.Observe in
+      if s.spn_complete = 0 then fail "span smoke: no complete spans";
+      if s.spn_verified <> s.spn_complete then
+        fail
+          "span smoke: %d/%d spans verified (stage sum must reproduce the \
+           measured sojourn bucket-for-bucket)"
+          s.spn_verified s.spn_complete;
+      Printf.printf
+        "span smoke: %d/%d spans verified against measured sojourns\n%!"
+        s.spn_verified s.spn_complete
+
 let () =
   deque_stress ~stealers:3 ~items:30_000;
   park_hammer ~domains:3 ~rounds:400;
   preempt_smoke ~domains:2;
+  stats_sampler_smoke ~domains:3 ~rounds:150;
+  serve_span_smoke ();
   print_endline "fiber-smoke: OK"

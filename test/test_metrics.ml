@@ -110,6 +110,53 @@ let test_quantile_edges () =
   Alcotest.(check bool) "quantile within a bucket of percentile" true
     (Float.abs (q -. H.percentile h 99.9) <= hi -. lo)
 
+(* The merge used by telemetry's sliding windows and cross-worker
+   sketches: bucket-wise sum, so quantiles of the merge equal the
+   quantiles of adding both sample streams to one histogram. *)
+let test_merge () =
+  let a = H.create () and b = H.create () in
+  let m0 = H.merge a b in
+  Alcotest.(check int) "empty merge count" 0 (H.count m0);
+  for _ = 1 to 90 do
+    H.add a 1e-6
+  done;
+  for _ = 1 to 10 do
+    H.add b 1e-3
+  done;
+  let m = H.merge a b in
+  Alcotest.(check int) "merged count" 100 (H.count m);
+  Alcotest.(check (float 1e-12)) "merged sum"
+    ((90. *. 1e-6) +. (10. *. 1e-3))
+    (H.sum m);
+  (* Inputs untouched (merge is fresh, not in-place). *)
+  Alcotest.(check int) "left input untouched" 90 (H.count a);
+  Alcotest.(check int) "right input untouched" 10 (H.count b);
+  H.add m 1.0;
+  Alcotest.(check int) "merge is independent of inputs" 90 (H.count a)
+
+let test_quantile_after_merge () =
+  (* Quantiles of the merge match a single histogram fed the union of
+     both streams — exactly, since merge is bucket-wise. *)
+  let a = H.create () and b = H.create () and whole = H.create () in
+  let feed h v = H.add h v in
+  for i = 1 to 200 do
+    let v = 1e-6 *. float_of_int i in
+    feed (if i mod 3 = 0 then a else b) v;
+    feed whole v
+  done;
+  let m = H.merge a b in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-15))
+        (Printf.sprintf "q(%g) of merge = q of union" p)
+        (H.quantile whole p) (H.quantile m p))
+    [ 0.0; 10.0; 50.0; 90.0; 99.0; 99.9; 100.0 ];
+  (* Merging with empty is the identity on counts and quantiles. *)
+  let id = H.merge whole (H.create ()) in
+  Alcotest.(check int) "identity count" (H.count whole) (H.count id);
+  Alcotest.(check (float 1e-15)) "identity p50" (H.quantile whole 50.0)
+    (H.quantile id 50.0)
+
 (* ------------------------------------------------------------------ *)
 (* Runtime integration. *)
 
@@ -267,6 +314,8 @@ let suite =
     Alcotest.test_case "bucket extremes" `Quick test_bucket_extremes;
     Alcotest.test_case "hist add/percentile" `Quick test_hist_add_count_percentile;
     Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "quantile after merge" `Quick test_quantile_after_merge;
     Alcotest.test_case "counters monotone + nonzero" `Quick test_counters_monotonic_and_nonzero;
     Alcotest.test_case "snapshot deterministic" `Quick test_snapshot_deterministic;
     Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;

@@ -149,6 +149,36 @@ let test_attribution_matches_histogram () =
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
 
+(* Per-ring overwritten counters: wraparound losses are visible live,
+   survive the binary dump (recovered from each ring's emitted-vs-
+   stored header counts, so the FLTREC01 format is unchanged), and
+   surface in the observe report built from that dump. *)
+let test_overwritten_through_dump () =
+  let cap = 3 in
+  let t = Recorder.create ~n_workers:2 ~capacity:cap in
+  Recorder.set_enabled t true;
+  let n_rings = Recorder.n_rings t in
+  (* Ring 0 wraps (7 emits into 3 slots), the last ring does not. *)
+  for i = 1 to 7 do
+    Recorder.emit t 0 (float_of_int i *. 1e-6) Recorder.ev_timer_fire i 0
+  done;
+  let last = n_rings - 1 in
+  for i = 1 to 2 do
+    Recorder.emit t last (float_of_int i *. 1e-6) Recorder.ev_timer_fire i 0
+  done;
+  Alcotest.(check int) "wrapped ring lost 4" 4 (Recorder.overwritten t 0);
+  Alcotest.(check int) "unwrapped ring lost 0" 0 (Recorder.overwritten t last);
+  Alcotest.(check int) "total" 4 (Recorder.total_overwritten t);
+  let live = Array.init n_rings (Recorder.overwritten t) in
+  match Recorder.decode (Recorder.encode t) with
+  | Error e -> Alcotest.failf "dump does not decode: %s" e
+  | Ok d ->
+      Alcotest.(check (array int)) "dump carries per-ring losses" live
+        d.Recorder.d_overwritten;
+      let rep = Experiments.Observe.of_dump d in
+      Alcotest.(check (array int)) "observe report surfaces them" live
+        rep.Experiments.Observe.r_overwritten
+
 (* A caught violation carries a decodable flight record whose
    reconstruction shows the stuck threads. *)
 let test_counterexample_flight_decodes () =
@@ -187,6 +217,8 @@ let suite =
       test_lifecycle_reconstruction;
     Alcotest.test_case "attribution matches sig_to_switch" `Quick
       test_attribution_matches_histogram;
+    Alcotest.test_case "overwritten counters through dumps" `Quick
+      test_overwritten_through_dump;
     Alcotest.test_case "counterexample flight decodes" `Quick
       test_counterexample_flight_decodes;
   ]
