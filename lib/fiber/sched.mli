@@ -74,10 +74,21 @@ val submit : pool -> ?pool:string -> ?prio:int -> (unit -> 'a) -> 'a promise
     {!Scheduler.priority}, [prio > 0] marks in-situ analysis work.
     The fiber is pinned: wherever it suspends or yields, it re-enters
     its home sub-pool.
+
+    Untargeted [prio = 0] spawns take the {e recycle fast path}: the
+    fiber record and its effect-handler closures come from a
+    per-worker free-list of dead fibers (bounded by
+    [Config.spawn_freelist]), so a steady-state spawn allocates only
+    the promise.  Hits and misses are visible as
+    {!subpool_stats}[.st_recycled] / [.st_recycle_miss].
     @raise Invalid_argument on an unknown sub-pool name. *)
 val spawn : ?pool:string -> ?prio:int -> (unit -> 'a) -> 'a promise
 
-(** Wait for a promise; re-raises if the child failed. *)
+(** Wait for a promise; re-raises if the child failed.  Before
+    suspending, a fiber joining on an unresolved promise {e leapfrogs}:
+    it raids the queue of the worker that spawned the awaited fiber
+    (a hint carried in the promise) and runs what it finds inline,
+    shortening the critical path instead of parking. *)
 val await : 'a promise -> 'a
 
 val yield : unit -> unit
@@ -125,6 +136,17 @@ type subpool_stats = {
   st_local_steals : int;  (** same-sub-pool steals by members *)
   st_overflow_in : int;  (** tasks members took from other sub-pools *)
   st_overflow_out : int;  (** tasks other sub-pools took from here *)
+  st_batch_stolen : int;
+      (** extra tasks batched raids flushed into members' own queues
+          (beyond the one-per-raid counted by [st_local_steals] /
+          [st_overflow_in]) *)
+  st_recycled : int;  (** spawns served from the dead-fiber free-list *)
+  st_recycle_miss : int;
+      (** recycle-eligible spawns that had to allocate a fresh fiber
+          record (cold start, free-list exhausted) *)
+  st_leapfrog : int;
+      (** tasks joiners ran inline by leapfrogging on their await
+          victim instead of parking *)
   st_pending : int;  (** scheduler length snapshot *)
   st_quanta : (int * float) list;
       (** [(worker id, current preemption quantum in seconds)] per

@@ -45,13 +45,23 @@ let deque_stress ~stealers ~items =
     ignore (Atomic.fetch_and_add claimed_sum v);
     Atomic.incr claimed
   in
+  (* Thieves alternate between classic single steals and batched
+     raids of mixed sizes, so the iterated per-element claims race
+     both the owner and each other. *)
   let thieves =
-    List.init stealers (fun _ ->
+    List.init stealers (fun t ->
         Domain.spawn (fun () ->
+            let rounds = ref 0 in
             while Atomic.get claimed < items do
-              match Fiber.Deque.steal d with
-              | Some v -> claim v
-              | None -> Domain.cpu_relax ()
+              incr rounds;
+              let r =
+                if (t + !rounds) land 1 = 0 then Fiber.Deque.steal d
+                else
+                  Fiber.Deque.steal_batch d
+                    ~max:(2 + ((t + !rounds) mod 7))
+                    ~spill:claim
+              in
+              match r with Some v -> claim v | None -> Domain.cpu_relax ()
             done))
   in
   (* Owner: push everything (every 7th value via the front segment),
@@ -181,6 +191,10 @@ let stats_sampler_smoke ~domains ~rounds =
                 || st.Fiber.st_local_steals < 0
                 || st.Fiber.st_overflow_in < 0
                 || st.Fiber.st_overflow_out < 0
+                || st.Fiber.st_batch_stolen < 0
+                || st.Fiber.st_recycled < 0
+                || st.Fiber.st_recycle_miss < 0
+                || st.Fiber.st_leapfrog < 0
               then Atomic.incr bad)
             (Fiber.stats pool)
         done)
@@ -250,10 +264,46 @@ let serve_span_smoke () =
         "span smoke: %d/%d spans verified against measured sojourns\n%!"
         s.spn_verified s.spn_complete
 
+(* ------------------------------------------------------------------ *)
+(* 6. Spawn recycling: on a single-domain pool the spawner is also the
+   runner, so dead fiber cells cycle deterministically through the
+   worker's own free-list.  With bursts no larger than the free-list
+   bound, only the first round's spawns can miss (cold list); every
+   later spawn must be served from recycled cells. *)
+
+let recycle_smoke ~rounds ~burst =
+  let pool =
+    Fiber.make (Fiber.Config.make ~domains:1 ~spawn_freelist:(2 * burst) ())
+  in
+  for _round = 1 to rounds do
+    let n =
+      Fiber.run pool (fun () ->
+          let ps = List.init burst (fun i -> Fiber.spawn (fun () -> i)) in
+          List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+    in
+    if n <> burst * (burst - 1) / 2 then fail "recycle smoke: round sum %d" n
+  done;
+  let st = List.hd (Fiber.stats pool) in
+  Fiber.shutdown pool;
+  let spawned = rounds * burst in
+  if st.Fiber.st_recycled + st.Fiber.st_recycle_miss <> spawned then
+    fail "recycle smoke: %d hits + %d misses <> %d spawns"
+      st.Fiber.st_recycled st.Fiber.st_recycle_miss spawned;
+  if st.Fiber.st_recycle_miss > burst then
+    fail "recycle smoke: %d misses, expected at most the cold first burst (%d)"
+      st.Fiber.st_recycle_miss burst;
+  if st.Fiber.st_recycled < (rounds - 1) * burst then
+    fail "recycle smoke: only %d spawns recycled, expected >= %d"
+      st.Fiber.st_recycled
+      ((rounds - 1) * burst);
+  Printf.printf "recycle smoke: %d/%d spawns served from the free-list\n%!"
+    st.Fiber.st_recycled spawned
+
 let () =
   deque_stress ~stealers:3 ~items:30_000;
   park_hammer ~domains:3 ~rounds:400;
   preempt_smoke ~domains:2;
   stats_sampler_smoke ~domains:3 ~rounds:150;
   serve_span_smoke ();
+  recycle_smoke ~rounds:25 ~burst:16;
   print_endline "fiber-smoke: OK"
